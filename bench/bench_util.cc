@@ -1,0 +1,116 @@
+#include "bench_util.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+
+#include "common/check.h"
+
+namespace lightrw::bench {
+
+namespace {
+
+uint64_t EnvOr(const char* name, uint64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') {
+    return fallback;
+  }
+  return std::strtoull(value, nullptr, 10);
+}
+
+}  // namespace
+
+uint32_t ScaleShift() {
+  static const uint32_t shift =
+      static_cast<uint32_t>(EnvOr("LIGHTRW_SCALE_SHIFT", 7));
+  return shift;
+}
+
+size_t MaxQueries() {
+  static const size_t cap =
+      static_cast<size_t>(EnvOr("LIGHTRW_MAX_QUERIES", 8192));
+  return cap;
+}
+
+const graph::CsrGraph& StandIn(graph::Dataset dataset) {
+  static std::map<graph::Dataset, graph::CsrGraph>& cache =
+      *new std::map<graph::Dataset, graph::CsrGraph>();
+  auto it = cache.find(dataset);
+  if (it == cache.end()) {
+    it = cache
+             .emplace(dataset, graph::MakeDatasetStandIn(
+                                   dataset, ScaleShift(), kBenchSeed))
+             .first;
+  }
+  return it->second;
+}
+
+std::vector<apps::WalkQuery> StandardQueries(const graph::CsrGraph& graph,
+                                             uint32_t length, size_t cap) {
+  if (cap == 0) {
+    cap = MaxQueries();
+  }
+  return apps::MakeVertexQueries(graph, length, kBenchSeed ^ length, cap);
+}
+
+std::vector<apps::WalkQuery> RepeatedQueries(const graph::CsrGraph& graph,
+                                             uint32_t length, size_t count) {
+  const auto base =
+      apps::MakeVertexQueries(graph, length, kBenchSeed ^ length);
+  LIGHTRW_CHECK(!base.empty());
+  std::vector<apps::WalkQuery> queries;
+  queries.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    queries.push_back(base[i % base.size()]);
+  }
+  return queries;
+}
+
+std::unique_ptr<apps::WalkApp> MakeMetaPath(const graph::CsrGraph& graph) {
+  return std::make_unique<apps::MetaPathApp>(
+      apps::MakeRandomRelationPath(graph, kMetaPathLength, kBenchSeed));
+}
+
+std::unique_ptr<apps::WalkApp> MakeNode2Vec() {
+  return std::make_unique<apps::Node2VecApp>(kNode2VecP, kNode2VecQ);
+}
+
+core::AcceleratorConfig DefaultAccelConfig() {
+  core::AcceleratorConfig config;
+  config.sampler_parallelism = 16;
+  config.burst = core::BurstStrategy{1, 32};
+  config.cache_kind = core::CacheKind::kDegreeAware;
+  // The on-chip structures shrink with the dataset stand-ins so their
+  // capacity relative to the graphs matches the paper's full-scale setup
+  // (2^12 cache entries against million-vertex graphs).
+  config.cache_entries = std::max<uint32_t>(16, 4096u >> ScaleShift());
+  config.prev_neighbor_buffer_edges =
+      std::max<uint32_t>(64, 65536u >> ScaleShift());
+  config.num_instances = 4;
+  config.seed = kBenchSeed;
+  return config;
+}
+
+void PrintReportHeader(const std::string& title) {
+  std::printf("\n== %s ==\n", title.c_str());
+  std::printf("(dataset stand-ins scaled by 2^-%u, query cap %zu; "
+              "LightRW times are simulated cycles at %.0f MHz)\n",
+              ScaleShift(), MaxQueries(), 300.0);
+}
+
+void PrintRow(const std::vector<std::string>& cells,
+              const std::vector<int>& widths) {
+  LIGHTRW_CHECK_EQ(cells.size(), widths.size());
+  for (size_t i = 0; i < cells.size(); ++i) {
+    std::printf("%-*s", widths[i], cells[i].c_str());
+  }
+  std::printf("\n");
+}
+
+std::string FormatDouble(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+}  // namespace lightrw::bench

@@ -1,0 +1,146 @@
+// Extension experiment (paper §8 future work): distributed LightRW over
+// multiple FPGA boards connected by 100G links. Sweeps the board count and
+// partitioning strategy on the liveJournal stand-in, reporting throughput
+// scaling and walker migration ratios for MetaPath.
+//
+// Expected shape: near-linear scaling while the network is not the
+// bottleneck; greedy (structure-aware) partitioning migrates fewer
+// walkers than oblivious hashing and scales further.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "distributed/dist_engine.h"
+#include "distributed/partition.h"
+
+namespace lightrw::bench {
+namespace {
+
+using distributed::DistributedConfig;
+using distributed::DistributedEngine;
+using distributed::MakePartition;
+using distributed::Partition;
+using distributed::PartitionStrategy;
+
+struct Row {
+  std::string strategy;
+  uint32_t boards = 0;
+  double msteps_per_s = 0.0;
+  double migration_ratio = 0.0;
+  double cut_ratio = 0.0;
+};
+
+std::vector<Row>& Rows() {
+  static auto* rows = new std::vector<Row>();
+  return *rows;
+}
+
+void DistributedBench(benchmark::State& state, PartitionStrategy strategy,
+                      const char* strategy_name) {
+  const auto boards = static_cast<distributed::BoardId>(state.range(0));
+  const graph::CsrGraph& g = StandIn(graph::Dataset::kLiveJournal);
+  const auto app = MakeMetaPath(g);
+  const auto queries = StandardQueries(g, kMetaPathLength);
+
+  const Partition partition = MakePartition(g, boards, strategy);
+  DistributedConfig config;
+  config.board = DefaultAccelConfig();
+  config.board.num_instances = 1;  // one accelerator channel per board
+
+  Row row;
+  row.strategy = strategy_name;
+  row.boards = boards;
+  row.cut_ratio = partition.CutRatio(g);
+  for (auto _ : state) {
+    DistributedEngine engine(&g, app.get(), &partition, config);
+    const auto stats = engine.Run(queries);
+    row.msteps_per_s = stats.StepsPerSecond() / 1e6;
+    row.migration_ratio = stats.MigrationRatio();
+  }
+  state.counters["Msteps"] = row.msteps_per_s;
+  state.counters["migration_pct"] = row.migration_ratio * 100.0;
+  Rows().push_back(row);
+}
+
+void ReplicatedBench(benchmark::State& state) {
+  const auto boards = static_cast<distributed::BoardId>(state.range(0));
+  const graph::CsrGraph& g = StandIn(graph::Dataset::kLiveJournal);
+  const auto app = MakeMetaPath(g);
+  const auto queries = StandardQueries(g, kMetaPathLength);
+  const Partition partition =
+      MakePartition(g, boards, PartitionStrategy::kHash);
+  DistributedConfig config;
+  config.board = DefaultAccelConfig();
+  config.board.num_instances = 1;
+  config.replicate_graph = true;
+  Row row;
+  row.strategy = "replicated";
+  row.boards = boards;
+  row.cut_ratio = 0.0;
+  for (auto _ : state) {
+    DistributedEngine engine(&g, app.get(), &partition, config);
+    const auto stats = engine.Run(queries);
+    row.msteps_per_s = stats.StepsPerSecond() / 1e6;
+    row.migration_ratio = stats.MigrationRatio();
+  }
+  state.counters["Msteps"] = row.msteps_per_s;
+  Rows().push_back(row);
+}
+
+void RegisterAll() {
+  auto* repl = benchmark::RegisterBenchmark("ExtDistributed/replicated",
+                                            ReplicatedBench);
+  repl->ArgName("boards");
+  for (int64_t boards : {1, 2, 4, 8}) {
+    repl->Arg(boards);
+  }
+  repl->Iterations(1)->Unit(benchmark::kMillisecond);
+
+  const struct {
+    PartitionStrategy strategy;
+    const char* name;
+  } kStrategies[] = {
+      {PartitionStrategy::kHash, "hash"},
+      {PartitionStrategy::kGreedy, "greedy"},
+  };
+  for (const auto& s : kStrategies) {
+    auto* bench = benchmark::RegisterBenchmark(
+        (std::string("ExtDistributed/") + s.name).c_str(),
+        [strategy = s.strategy, name = s.name](benchmark::State& st) {
+          DistributedBench(st, strategy, name);
+        });
+    bench->ArgName("boards");
+    for (int64_t boards : {1, 2, 4, 8}) {
+      bench->Arg(boards);
+    }
+    bench->Iterations(1)->Unit(benchmark::kMillisecond);
+  }
+}
+
+void PrintSummary() {
+  PrintReportHeader(
+      "Extension: distributed LightRW scaling (paper future work; "
+      "expect near-linear scaling, greedy < hash migrations)");
+  const std::vector<int> widths = {10, 8, 14, 14, 12};
+  PrintRow({"strategy", "boards", "Msteps/s", "migrations", "edge cut"},
+           widths);
+  for (const Row& row : Rows()) {
+    PrintRow({row.strategy, std::to_string(row.boards),
+              FormatDouble(row.msteps_per_s),
+              FormatDouble(row.migration_ratio * 100, 1) + "%",
+              FormatDouble(row.cut_ratio * 100, 1) + "%"},
+             widths);
+  }
+}
+
+}  // namespace
+}  // namespace lightrw::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  lightrw::bench::RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  lightrw::bench::PrintSummary();
+  benchmark::Shutdown();
+  return 0;
+}

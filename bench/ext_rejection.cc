@@ -1,0 +1,110 @@
+// Extension experiment: KnightKing-style rejection sampling as a stronger
+// CPU Node2Vec baseline. A candidate is drawn from the precomputed static
+// distribution and accepted with probability scale/s_max, replacing the
+// full per-step weight pass with O(1) expected work. Compares steps/s
+// against the ThunderRW-style ITS engine and the simulated LightRW.
+
+#include <benchmark/benchmark.h>
+
+#include "baseline/engine.h"
+#include "baseline/rejection.h"
+#include "bench_util.h"
+#include "common/timer.h"
+#include "lightrw/cycle_engine.h"
+
+namespace lightrw::bench {
+namespace {
+
+struct Row {
+  std::string dataset;
+  double its_msteps = 0.0;
+  double rejection_msteps = 0.0;
+  double lightrw_msteps = 0.0;
+  double trials_per_sample = 0.0;
+};
+
+std::vector<Row>& Rows() {
+  static auto* rows = new std::vector<Row>();
+  return *rows;
+}
+
+void RejectionBench(benchmark::State& state, graph::Dataset dataset) {
+  const graph::CsrGraph& g = StandIn(dataset);
+  const auto app = MakeNode2Vec();
+  const auto queries = StandardQueries(g, kNode2VecLength);
+
+  Row row;
+  row.dataset = graph::GetDatasetInfo(dataset).name;
+  for (auto _ : state) {
+    baseline::BaselineEngine its(&g, app.get(), baseline::BaselineConfig{});
+    row.its_msteps = its.Run(queries).StepsPerSecond() / 1e6;
+
+    baseline::Node2VecRejectionWalker walker(&g, kNode2VecP, kNode2VecQ,
+                                             kBenchSeed);
+    WallTimer timer;
+    uint64_t steps = 0;
+    for (const auto& q : queries) {
+      graph::VertexId curr = q.start;
+      graph::VertexId prev = graph::kInvalidVertex;
+      for (uint32_t s = 0; s < q.length; ++s) {
+        const graph::VertexId next = walker.SampleNext(curr, prev);
+        if (next == graph::kInvalidVertex) {
+          break;
+        }
+        prev = curr;
+        curr = next;
+        ++steps;
+      }
+    }
+    row.rejection_msteps =
+        static_cast<double>(steps) / timer.ElapsedSeconds() / 1e6;
+    row.trials_per_sample = walker.TrialsPerSample();
+
+    core::CycleEngine accel(&g, app.get(), DefaultAccelConfig());
+    row.lightrw_msteps = accel.Run(queries).StepsPerSecond() / 1e6;
+  }
+  state.counters["its_Msteps"] = row.its_msteps;
+  state.counters["rejection_Msteps"] = row.rejection_msteps;
+  state.counters["lightrw_Msteps"] = row.lightrw_msteps;
+  Rows().push_back(row);
+}
+
+void RegisterAll() {
+  for (const graph::Dataset d : graph::kAllDatasets) {
+    benchmark::RegisterBenchmark(
+        (std::string("ExtRejection/") + graph::GetDatasetInfo(d).name)
+            .c_str(),
+        [d](benchmark::State& s) { RejectionBench(s, d); })
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+void PrintSummary() {
+  PrintReportHeader(
+      "Extension: Node2Vec via rejection sampling (KnightKing-style) vs "
+      "per-step ITS vs simulated LightRW");
+  const std::vector<int> widths = {10, 14, 18, 16, 14};
+  PrintRow({"dataset", "ITS Mst/s", "rejection Mst/s", "LightRW Mst/s",
+            "trials/spl"},
+           widths);
+  for (const Row& row : Rows()) {
+    PrintRow({row.dataset, FormatDouble(row.its_msteps),
+              FormatDouble(row.rejection_msteps),
+              FormatDouble(row.lightrw_msteps),
+              FormatDouble(row.trials_per_sample)},
+             widths);
+  }
+}
+
+}  // namespace
+}  // namespace lightrw::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  lightrw::bench::RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  lightrw::bench::PrintSummary();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,135 @@
+// Extension experiment: design-space sensitivity of the modeled
+// accelerator, covering the ablations DESIGN.md calls out —
+//   (a) WRS sampler lanes k (diminishing returns past the line rate),
+//   (b) degree-aware cache depth,
+//   (c) Node2Vec previous-adjacency buffer capacity,
+//   (d) number of instances / DRAM channels.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "lightrw/cycle_engine.h"
+
+namespace lightrw::bench {
+namespace {
+
+struct Row {
+  std::string sweep;
+  uint64_t value = 0;
+  double msteps = 0.0;
+  double extra = 0.0;  // sweep-specific: miss ratio or refetch count
+};
+
+std::vector<Row>& Rows() {
+  static auto* rows = new std::vector<Row>();
+  return *rows;
+}
+
+core::AcceleratorConfig BaseConfig() {
+  core::AcceleratorConfig config = DefaultAccelConfig();
+  config.num_instances = 1;
+  return config;
+}
+
+void LaneSweep(benchmark::State& state) {
+  const uint32_t k = static_cast<uint32_t>(state.range(0));
+  const graph::CsrGraph& g = StandIn(graph::Dataset::kOrkut);
+  const auto app = MakeMetaPath(g);
+  const auto queries = StandardQueries(g, kMetaPathLength);
+  core::AcceleratorConfig config = BaseConfig();
+  config.sampler_parallelism = k;
+  Row row{"sampler_lanes", k, 0.0, 0.0};
+  for (auto _ : state) {
+    core::CycleEngine engine(&g, app.get(), config);
+    row.msteps = engine.Run(queries).StepsPerSecond() / 1e6;
+  }
+  state.counters["Msteps"] = row.msteps;
+  Rows().push_back(row);
+}
+
+void CacheSweep(benchmark::State& state) {
+  const uint32_t entries = static_cast<uint32_t>(state.range(0));
+  const graph::CsrGraph& g = StandIn(graph::Dataset::kLiveJournal);
+  const auto app = MakeMetaPath(g);
+  const auto queries = StandardQueries(g, kMetaPathLength);
+  core::AcceleratorConfig config = BaseConfig();
+  config.cache_entries = entries;
+  Row row{"cache_entries", entries, 0.0, 0.0};
+  for (auto _ : state) {
+    core::CycleEngine engine(&g, app.get(), config);
+    const auto stats = engine.Run(queries);
+    row.msteps = stats.StepsPerSecond() / 1e6;
+    row.extra = stats.cache.MissRatio();
+  }
+  state.counters["Msteps"] = row.msteps;
+  state.counters["miss_ratio"] = row.extra;
+  Rows().push_back(row);
+}
+
+void BufferSweep(benchmark::State& state) {
+  const uint32_t edges = static_cast<uint32_t>(state.range(0));
+  const graph::CsrGraph& g = StandIn(graph::Dataset::kOrkut);
+  const auto app = MakeNode2Vec();
+  const auto queries = StandardQueries(g, /*length=*/20);
+  core::AcceleratorConfig config = BaseConfig();
+  config.prev_neighbor_buffer_edges = edges;
+  Row row{"prev_buffer_edges", edges, 0.0, 0.0};
+  for (auto _ : state) {
+    core::CycleEngine engine(&g, app.get(), config);
+    const auto stats = engine.Run(queries);
+    row.msteps = stats.StepsPerSecond() / 1e6;
+    row.extra = static_cast<double>(stats.prev_refetches);
+  }
+  state.counters["Msteps"] = row.msteps;
+  state.counters["refetches"] = row.extra;
+  Rows().push_back(row);
+}
+
+void InstanceSweep(benchmark::State& state) {
+  const uint32_t instances = static_cast<uint32_t>(state.range(0));
+  const graph::CsrGraph& g = StandIn(graph::Dataset::kLiveJournal);
+  const auto app = MakeMetaPath(g);
+  const auto queries = StandardQueries(g, kMetaPathLength);
+  core::AcceleratorConfig config = BaseConfig();
+  config.num_instances = instances;
+  Row row{"instances", instances, 0.0, 0.0};
+  for (auto _ : state) {
+    core::CycleEngine engine(&g, app.get(), config);
+    row.msteps = engine.Run(queries).StepsPerSecond() / 1e6;
+  }
+  state.counters["Msteps"] = row.msteps;
+  Rows().push_back(row);
+}
+
+void PrintSummary() {
+  PrintReportHeader(
+      "Extension: accelerator design-space sensitivity "
+      "(lanes k, cache depth, Node2Vec buffer, instances)");
+  const std::vector<int> widths = {20, 12, 12, 16};
+  PrintRow({"sweep", "value", "Msteps/s", "extra"}, widths);
+  for (const Row& row : Rows()) {
+    PrintRow({row.sweep, std::to_string(row.value),
+              FormatDouble(row.msteps), FormatDouble(row.extra, 3)},
+             widths);
+  }
+}
+
+BENCHMARK(LaneSweep)->ArgName("k")->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)
+    ->Arg(32)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(CacheSweep)->ArgName("entries")->Arg(8)->Arg(32)->Arg(128)
+    ->Arg(512)->Arg(2048)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BufferSweep)->ArgName("edges")->Arg(16)->Arg(64)->Arg(256)
+    ->Arg(1024)->Arg(65536)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(InstanceSweep)->ArgName("instances")->Arg(1)->Arg(2)->Arg(4)
+    ->Arg(8)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace lightrw::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  lightrw::bench::PrintSummary();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Extension experiment (paper §7 related work): a Su et al. (FPL'21)-style
+// uniform-sampling accelerator vs LightRW. Uniform static walks need only
+// one neighbor fetch per step, so the specialized engine wins on that
+// special case — but it cannot express weighted or dynamic walks at all,
+// which is the generality LightRW trades some uniform-walk speed for.
+
+#include <benchmark/benchmark.h>
+
+#include "apps/walk_app.h"
+#include "bench_util.h"
+#include "lightrw/cycle_engine.h"
+#include "lightrw/uniform_engine.h"
+
+namespace lightrw::bench {
+namespace {
+
+struct Row {
+  std::string dataset;
+  double uniform_msteps = 0.0;
+  double lightrw_msteps = 0.0;
+  double uniform_bytes_per_step = 0.0;
+  double lightrw_bytes_per_step = 0.0;
+};
+
+std::vector<Row>& Rows() {
+  static auto* rows = new std::vector<Row>();
+  return *rows;
+}
+
+void UniformBench(benchmark::State& state, graph::Dataset dataset) {
+  const graph::CsrGraph& g = StandIn(dataset);
+  apps::StaticWalkApp app;  // first-order walk; weights all >= 1
+  const auto queries = StandardQueries(g, /*length=*/20);
+  const core::AcceleratorConfig config = DefaultAccelConfig();
+
+  Row row;
+  row.dataset = graph::GetDatasetInfo(dataset).name;
+  for (auto _ : state) {
+    core::UniformCycleEngine uniform(&g, config);
+    const auto uniform_stats = uniform.Run(queries);
+    row.uniform_msteps = uniform_stats.StepsPerSecond() / 1e6;
+    row.uniform_bytes_per_step =
+        static_cast<double>(uniform_stats.dram.bytes) / uniform_stats.steps;
+
+    core::CycleEngine lightrw(&g, &app, config);
+    const auto lightrw_stats = lightrw.Run(queries);
+    row.lightrw_msteps = lightrw_stats.StepsPerSecond() / 1e6;
+    row.lightrw_bytes_per_step =
+        static_cast<double>(lightrw_stats.dram.bytes) / lightrw_stats.steps;
+  }
+  state.counters["uniform_Msteps"] = row.uniform_msteps;
+  state.counters["lightrw_Msteps"] = row.lightrw_msteps;
+  Rows().push_back(row);
+}
+
+void RegisterAll() {
+  for (const graph::Dataset d : graph::kAllDatasets) {
+    benchmark::RegisterBenchmark(
+        (std::string("ExtUniform/") + graph::GetDatasetInfo(d).name).c_str(),
+        [d](benchmark::State& s) { UniformBench(s, d); })
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+void PrintSummary() {
+  PrintReportHeader(
+      "Extension: specialized uniform-walk accelerator (Su et al. style) "
+      "vs LightRW on uniform static walks — the generality/speed tradeoff "
+      "of paper §7");
+  const std::vector<int> widths = {10, 16, 16, 14, 14};
+  PrintRow({"dataset", "uniform Mst/s", "LightRW Mst/s", "uni B/step",
+            "lrw B/step"},
+           widths);
+  for (const Row& row : Rows()) {
+    PrintRow({row.dataset, FormatDouble(row.uniform_msteps),
+              FormatDouble(row.lightrw_msteps),
+              FormatDouble(row.uniform_bytes_per_step, 0),
+              FormatDouble(row.lightrw_bytes_per_step, 0)},
+             widths);
+  }
+}
+
+}  // namespace
+}  // namespace lightrw::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  lightrw::bench::RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  lightrw::bench::PrintSummary();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Reproduces paper Fig. 13: performance breakdown of the three proposed
+// techniques. Each technique is disabled one at a time and the performance
+// loss relative to the all-enabled configuration is reported.
+//
+// Paper result: WRS pipelining contributes the most (41-79%, largest on
+// Node2Vec); the dynamic burst engine helps Node2Vec less (its extra
+// row-index traffic eats the bandwidth); the degree-aware cache helps
+// MetaPath more than Node2Vec (up to 6% on uk2002).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "lightrw/cycle_engine.h"
+
+namespace lightrw::bench {
+namespace {
+
+struct Row {
+  std::string dataset;
+  std::string app;
+  // Fraction of performance lost when the technique is disabled:
+  // 1 - t_all / t_disabled.
+  double wrs_loss = 0.0;
+  double dyb_loss = 0.0;
+  double dac_loss = 0.0;
+};
+
+std::vector<Row>& Rows() {
+  static auto* rows = new std::vector<Row>();
+  return *rows;
+}
+
+uint64_t RunCycles(const graph::CsrGraph& g, const apps::WalkApp& app,
+                   std::span<const apps::WalkQuery> queries,
+                   const core::AcceleratorConfig& config) {
+  core::CycleEngine engine(&g, &app, config);
+  return engine.Run(queries).cycles;
+}
+
+void BreakdownBench(benchmark::State& state, graph::Dataset dataset,
+                    bool node2vec) {
+  const graph::CsrGraph& g = StandIn(dataset);
+  const auto app = node2vec ? MakeNode2Vec() : MakeMetaPath(g);
+  const auto queries =
+      StandardQueries(g, node2vec ? kNode2VecLength : kMetaPathLength);
+
+  core::AcceleratorConfig all = DefaultAccelConfig();
+  all.num_instances = 1;
+  core::AcceleratorConfig no_wrs = all;
+  no_wrs.enable_wrs_pipeline = false;
+  core::AcceleratorConfig no_dyb = all;
+  no_dyb.burst = core::BurstStrategy{1, 0};
+  core::AcceleratorConfig no_dac = all;
+  no_dac.cache_kind = core::CacheKind::kNone;
+
+  Row row;
+  row.dataset = graph::GetDatasetInfo(dataset).name;
+  row.app = app->name();
+  for (auto _ : state) {
+    const double base = static_cast<double>(RunCycles(g, *app, queries, all));
+    row.wrs_loss = 1.0 - base / RunCycles(g, *app, queries, no_wrs);
+    row.dyb_loss = 1.0 - base / RunCycles(g, *app, queries, no_dyb);
+    row.dac_loss = 1.0 - base / RunCycles(g, *app, queries, no_dac);
+  }
+  state.counters["wrs_pct"] = row.wrs_loss * 100.0;
+  state.counters["dyb_pct"] = row.dyb_loss * 100.0;
+  state.counters["dac_pct"] = row.dac_loss * 100.0;
+  Rows().push_back(row);
+}
+
+void RegisterAll() {
+  for (const graph::Dataset d : graph::kAllDatasets) {
+    const char* name = graph::GetDatasetInfo(d).name;
+    for (const bool node2vec : {false, true}) {
+      benchmark::RegisterBenchmark(
+          (std::string("Fig13/") + (node2vec ? "Node2Vec/" : "MetaPath/") +
+              name).c_str(),
+          [d, node2vec](benchmark::State& s) {
+            BreakdownBench(s, d, node2vec);
+          })
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+void PrintSummary() {
+  PrintReportHeader(
+      "Fig. 13: performance lost when disabling one technique "
+      "(paper: WRS 41-79% and largest; DYB small on Node2Vec; DAC helps "
+      "MetaPath more)");
+  const std::vector<int> widths = {10, 10, 12, 12, 12};
+  PrintRow({"dataset", "app", "WRS off", "DYB off", "DAC off"}, widths);
+  for (const Row& row : Rows()) {
+    PrintRow({row.dataset, row.app,
+              FormatDouble(row.wrs_loss * 100, 1) + "%",
+              FormatDouble(row.dyb_loss * 100, 1) + "%",
+              FormatDouble(row.dac_loss * 100, 1) + "%"},
+             widths);
+  }
+}
+
+}  // namespace
+}  // namespace lightrw::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  lightrw::bench::RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  lightrw::bench::PrintSummary();
+  benchmark::Shutdown();
+  return 0;
+}

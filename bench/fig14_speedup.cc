@@ -1,0 +1,134 @@
+// Reproduces paper Fig. 14: end-to-end speedup of LightRW over the
+// ThunderRW-style CPU baseline on MetaPath and Node2Vec across the five
+// datasets, plus the "ThunderRW w/PWRS" variant and the §3.2 observation
+// that plain WRS is a poor fit for CPUs.
+//
+// Paper result: LightRW wins 6.27x-9.55x on MetaPath and 5.17x-9.10x on
+// Node2Vec; PWRS-on-CPU helps on some graphs (1.84x on OR) and hurts on
+// others; CPU WRS is ~8.2x slower than ITS.
+
+#include <benchmark/benchmark.h>
+
+#include "baseline/engine.h"
+#include "bench_util.h"
+#include "lightrw/cycle_engine.h"
+
+namespace lightrw::bench {
+namespace {
+
+struct Row {
+  std::string dataset;
+  std::string app;
+  double cpu_steps_s = 0.0;
+  double cpu_pwrs_steps_s = 0.0;
+  double accel_steps_s = 0.0;
+};
+
+std::vector<Row>& Rows() {
+  static auto* rows = new std::vector<Row>();
+  return *rows;
+}
+
+double RunCpu(const graph::CsrGraph& g, const apps::WalkApp& app,
+              std::span<const apps::WalkQuery> queries,
+              sampling::SamplerKind sampler) {
+  baseline::BaselineConfig config;
+  config.sampler = sampler;
+  baseline::BaselineEngine engine(&g, &app, config);
+  const auto stats = engine.Run(queries);
+  return stats.StepsPerSecond();
+}
+
+double RunAccel(const graph::CsrGraph& g, const apps::WalkApp& app,
+                std::span<const apps::WalkQuery> queries) {
+  core::CycleEngine engine(&g, &app, DefaultAccelConfig());
+  return engine.Run(queries).StepsPerSecond();
+}
+
+void SpeedupBench(benchmark::State& state, graph::Dataset dataset,
+                  bool node2vec) {
+  const graph::CsrGraph& g = StandIn(dataset);
+  const auto app = node2vec ? MakeNode2Vec() : MakeMetaPath(g);
+  const auto queries =
+      StandardQueries(g, node2vec ? kNode2VecLength : kMetaPathLength);
+
+  Row row;
+  row.dataset = graph::GetDatasetInfo(dataset).name;
+  row.app = app->name();
+  for (auto _ : state) {
+    row.cpu_steps_s = RunCpu(g, *app, queries,
+                             sampling::SamplerKind::kInverseTransform);
+    row.cpu_pwrs_steps_s =
+        RunCpu(g, *app, queries, sampling::SamplerKind::kParallelWrs);
+    row.accel_steps_s = RunAccel(g, *app, queries);
+  }
+  state.counters["cpu_Msteps"] = row.cpu_steps_s / 1e6;
+  state.counters["pwrs_Msteps"] = row.cpu_pwrs_steps_s / 1e6;
+  state.counters["lightrw_Msteps"] = row.accel_steps_s / 1e6;
+  state.counters["speedup"] = row.accel_steps_s / row.cpu_steps_s;
+  Rows().push_back(row);
+}
+
+void WrsOnCpuBench(benchmark::State& state) {
+  // §3.2: replacing ITS with sequential WRS in the CPU engine costs the
+  // per-edge random number generation (the paper observed 8.2x).
+  const graph::CsrGraph& g = StandIn(graph::Dataset::kLiveJournal);
+  const auto app = MakeMetaPath(g);
+  const auto queries = StandardQueries(g, kMetaPathLength);
+  for (auto _ : state) {
+    const double its = RunCpu(g, *app, queries,
+                              sampling::SamplerKind::kInverseTransform);
+    const double wrs =
+        RunCpu(g, *app, queries, sampling::SamplerKind::kReservoir);
+    state.counters["its_over_wrs"] = its / wrs;
+  }
+}
+
+void RegisterAll() {
+  for (const graph::Dataset d : graph::kAllDatasets) {
+    const char* name = graph::GetDatasetInfo(d).name;
+    benchmark::RegisterBenchmark(
+        (std::string("Fig14/MetaPath/") + name).c_str(),
+        [d](benchmark::State& s) { SpeedupBench(s, d, false); })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+    benchmark::RegisterBenchmark(
+        (std::string("Fig14/Node2Vec/") + name).c_str(),
+        [d](benchmark::State& s) { SpeedupBench(s, d, true); })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+  benchmark::RegisterBenchmark("Fig14/WrsOnCpu/LJ", WrsOnCpuBench)
+      ->Unit(benchmark::kMillisecond)
+      ->Iterations(1);
+}
+
+void PrintSummary() {
+  PrintReportHeader(
+      "Fig. 14: LightRW vs ThunderRW speedup (paper: 6.27-9.55x MetaPath, "
+      "5.17-9.10x Node2Vec)");
+  const std::vector<int> widths = {10, 10, 14, 16, 16, 10, 12};
+  PrintRow({"dataset", "app", "cpu Mstep/s", "cpu+PWRS Mst/s",
+            "LightRW Mst/s", "speedup", "PWRS effect"},
+           widths);
+  for (const Row& row : Rows()) {
+    PrintRow({row.dataset, row.app, FormatDouble(row.cpu_steps_s / 1e6),
+              FormatDouble(row.cpu_pwrs_steps_s / 1e6),
+              FormatDouble(row.accel_steps_s / 1e6),
+              FormatDouble(row.accel_steps_s / row.cpu_steps_s) + "x",
+              FormatDouble(row.cpu_pwrs_steps_s / row.cpu_steps_s) + "x"},
+             widths);
+  }
+}
+
+}  // namespace
+}  // namespace lightrw::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  lightrw::bench::RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  lightrw::bench::PrintSummary();
+  benchmark::Shutdown();
+  return 0;
+}

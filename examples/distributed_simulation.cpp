@@ -1,0 +1,65 @@
+// Multi-board distributed LightRW simulation (the paper's §8 future
+// work): partitions a graph over several simulated FPGA boards connected
+// by 100G links, runs MetaPath walks, and compares partitioning
+// strategies against full replication.
+//
+//   ./examples/distributed_simulation
+
+#include <cstdio>
+
+#include "apps/walk_app.h"
+#include "distributed/dist_engine.h"
+#include "distributed/partition.h"
+#include "graph/generators.h"
+
+int main() {
+  using namespace lightrw;
+
+  const graph::CsrGraph graph = graph::MakeDatasetStandIn(
+      graph::Dataset::kLiveJournal, /*scale_shift=*/9, /*seed=*/5);
+  std::printf("liveJournal stand-in: %s\n", graph.Summary().c_str());
+
+  apps::MetaPathApp app(apps::MakeRandomRelationPath(graph, 5, 5));
+  const auto queries = apps::MakeVertexQueries(graph, 5, 5, 8192);
+
+  const struct {
+    const char* name;
+    distributed::PartitionStrategy strategy;
+    bool replicate;
+  } kModes[] = {
+      {"replicated", distributed::PartitionStrategy::kHash, true},
+      {"hash", distributed::PartitionStrategy::kHash, false},
+      {"range", distributed::PartitionStrategy::kRange, false},
+      {"greedy", distributed::PartitionStrategy::kGreedy, false},
+  };
+
+  std::printf("\n%-12s %-7s %-10s %-12s %-12s %-14s\n", "mode", "boards",
+              "Msteps/s", "migrations", "edge cut", "MB per board");
+  for (const auto& mode : kModes) {
+    for (const distributed::BoardId boards : {2, 4, 8}) {
+      const distributed::Partition partition =
+          distributed::MakePartition(graph, boards, mode.strategy);
+      distributed::DistributedConfig config;
+      config.board.num_instances = 1;
+      config.board.seed = 11;
+      config.replicate_graph = mode.replicate;
+      distributed::DistributedEngine engine(&graph, &app, &partition,
+                                            config);
+      const auto stats = engine.Run(queries);
+      char migrations[32], cut[32];
+      std::snprintf(migrations, sizeof(migrations), "%.1f%%",
+                    stats.MigrationRatio() * 100.0);
+      std::snprintf(cut, sizeof(cut), "%.1f%%",
+                    mode.replicate ? 0.0 : partition.CutRatio(graph) * 100.0);
+      std::printf("%-12s %-7u %-10.2f %-12s %-12s %-14.1f\n",
+                  mode.name, boards, stats.StepsPerSecond() / 1e6,
+                  migrations, cut,
+                  stats.per_board_graph_bytes / 1e6);
+    }
+  }
+  std::printf(
+      "\ntakeaway: replication avoids all migrations but stores the whole\n"
+      "graph per board; partitioning trades network hops for capacity, and\n"
+      "hub-aware load balance matters more than raw edge cut.\n");
+  return 0;
+}

@@ -1,0 +1,170 @@
+// Command-line walk driver: load or generate a graph, run any of the
+// supported walk applications on the chosen engine, and optionally save
+// the walk corpus.
+//
+//   ./examples/walk_tool --help
+//   ./examples/walk_tool --graph edges.txt --app node2vec --length 40
+//       --queries 10000 --engine lightrw --out corpus.txt  (one line)
+
+#include <cstdio>
+#include <memory>
+
+#include "analytics/corpus_io.h"
+#include "apps/ppr.h"
+#include "apps/walk_app.h"
+#include "baseline/engine.h"
+#include "common/flags.h"
+#include "common/timer.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "lightrw/cycle_engine.h"
+#include "lightrw/report.h"
+#include "lightrw/functional_engine.h"
+
+namespace {
+
+using namespace lightrw;
+
+std::unique_ptr<apps::WalkApp> MakeApp(const std::string& name,
+                                       const graph::CsrGraph& g,
+                                       const FlagParser& flags) {
+  if (name == "node2vec") {
+    return std::make_unique<apps::Node2VecApp>(flags.GetDouble("p"),
+                                               flags.GetDouble("q"));
+  }
+  if (name == "metapath") {
+    return std::make_unique<apps::MetaPathApp>(apps::MakeRandomRelationPath(
+        g, static_cast<uint32_t>(flags.GetInt("length")),
+        flags.GetInt("seed")));
+  }
+  if (name == "ppr") {
+    return std::make_unique<apps::PprApp>(flags.GetDouble("alpha"));
+  }
+  if (name == "deepwalk") {
+    return std::make_unique<apps::StaticWalkApp>();
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  flags.Define("graph", "edge list file to load (empty: generate rmat)", "");
+  flags.Define("undirected", "treat the edge list as undirected", "false");
+  flags.Define("rmat_scale", "generated graph scale (2^scale vertices)",
+               "14");
+  flags.Define("app", "walk app: deepwalk|node2vec|metapath|ppr",
+               "node2vec");
+  flags.Define("engine", "walk engine: cpu|lightrw|lightrw-sim", "lightrw");
+  flags.Define("length", "walk length (steps)", "40");
+  flags.Define("queries", "number of queries (0 = one per vertex)", "0");
+  flags.Define("p", "node2vec return parameter", "2.0");
+  flags.Define("q", "node2vec in-out parameter", "0.5");
+  flags.Define("alpha", "ppr stop probability", "0.15");
+  flags.Define("seed", "random seed", "42");
+  flags.Define("out", "write the walk corpus to this file (text)", "");
+  flags.Define("report", "print the full accelerator run report", "false");
+  flags.Define("help", "print usage", "false");
+
+  const Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n%s", parsed.ToString().c_str(),
+                 flags.HelpText().c_str());
+    return 1;
+  }
+  if (flags.GetBool("help")) {
+    std::printf("lightrw walk tool\n%s", flags.HelpText().c_str());
+    return 0;
+  }
+
+  // Load or generate the graph.
+  graph::CsrGraph g;
+  if (!flags.GetString("graph").empty()) {
+    auto loaded = graph::ReadEdgeList(flags.GetString("graph"),
+                                      flags.GetBool("undirected"));
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "failed to load graph: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    g = std::move(loaded).value();
+  } else {
+    graph::RmatOptions options;
+    options.scale = static_cast<uint32_t>(flags.GetInt("rmat_scale"));
+    options.seed = flags.GetInt("seed");
+    g = graph::GenerateRmat(options);
+  }
+  std::printf("graph: %s\n", g.Summary().c_str());
+
+  const auto app = MakeApp(flags.GetString("app"), g, flags);
+  if (app == nullptr) {
+    std::fprintf(stderr, "unknown app '%s'\n",
+                 flags.GetString("app").c_str());
+    return 1;
+  }
+
+  const uint32_t length = static_cast<uint32_t>(flags.GetInt("length"));
+  const auto queries = apps::MakeVertexQueries(
+      g, length, flags.GetInt("seed"),
+      static_cast<size_t>(flags.GetInt("queries")));
+  std::printf("app %s, %zu queries of length %u, engine %s\n",
+              app->name().c_str(), queries.size(), length,
+              flags.GetString("engine").c_str());
+
+  baseline::WalkOutput corpus;
+  WallTimer timer;
+  const std::string engine = flags.GetString("engine");
+  if (engine == "cpu") {
+    baseline::BaselineConfig config;
+    config.seed = flags.GetInt("seed");
+    baseline::BaselineEngine cpu(&g, app.get(), config);
+    const auto stats = cpu.Run(queries, &corpus);
+    std::printf("cpu engine: %llu steps in %.3fs (%.2f Msteps/s)\n",
+                static_cast<unsigned long long>(stats.steps), stats.seconds,
+                stats.StepsPerSecond() / 1e6);
+  } else if (engine == "lightrw-sim") {
+    core::AcceleratorConfig config;
+    config.seed = flags.GetInt("seed");
+    core::CycleEngine accel(&g, app.get(), config);
+    const auto stats = accel.Run(queries, &corpus);
+    std::printf(
+        "lightrw cycle model: %llu steps, %llu cycles = %.4fs simulated "
+        "(%.2f Msteps/s)\n",
+        static_cast<unsigned long long>(stats.steps),
+        static_cast<unsigned long long>(stats.cycles), stats.seconds,
+        stats.StepsPerSecond() / 1e6);
+    if (flags.GetBool("report")) {
+      core::RunReportInputs report;
+      report.graph = &g;
+      report.config = &config;
+      report.stats = &stats;
+      report.app_name = app->name();
+      report.needs_prev_neighbors = app->needs_prev_neighbors();
+      report.num_queries = queries.size();
+      report.query_length = length;
+      std::fputs(core::FormatRunReport(report).c_str(), stdout);
+    }
+  } else {
+    core::AcceleratorConfig config;
+    config.seed = flags.GetInt("seed");
+    core::FunctionalEngine accel(&g, app.get(), config);
+    const auto stats = accel.Run(queries, &corpus);
+    std::printf("lightrw functional: %llu steps in %.3fs wall\n",
+                static_cast<unsigned long long>(stats.steps),
+                timer.ElapsedSeconds());
+  }
+
+  if (!flags.GetString("out").empty()) {
+    const Status written =
+        analytics::WriteCorpusText(corpus, flags.GetString("out"));
+    if (!written.ok()) {
+      std::fprintf(stderr, "failed to write corpus: %s\n",
+                   written.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %zu walks to %s\n", corpus.num_paths(),
+                flags.GetString("out").c_str());
+  }
+  return 0;
+}

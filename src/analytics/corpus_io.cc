@@ -1,0 +1,159 @@
+#include "analytics/corpus_io.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+namespace lightrw::analytics {
+
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) {
+      std::fclose(f);
+    }
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+constexpr char kCorpusMagic[8] = {'L', 'R', 'W', 'W', 'A', 'L', 'K', '1'};
+
+}  // namespace
+
+Status WriteCorpusText(const baseline::WalkOutput& corpus,
+                       const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "w"));
+  if (f == nullptr) {
+    return IoError("cannot open " + path + " for writing");
+  }
+  for (size_t i = 0; i < corpus.num_paths(); ++i) {
+    const auto path_span = corpus.Path(i);
+    for (size_t j = 0; j < path_span.size(); ++j) {
+      if (std::fprintf(f.get(), j == 0 ? "%u" : " %u", path_span[j]) < 0) {
+        return IoError("write failed for " + path);
+      }
+    }
+    if (std::fputc('\n', f.get()) == EOF) {
+      return IoError("write failed for " + path);
+    }
+  }
+  return Status::Ok();
+}
+
+StatusOr<baseline::WalkOutput> ReadCorpusText(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "r"));
+  if (f == nullptr) {
+    return IoError("cannot open " + path);
+  }
+  baseline::WalkOutput corpus;
+  std::string line;
+  int c;
+  int line_number = 1;
+  bool any = false;
+  while (true) {
+    line.clear();
+    while ((c = std::fgetc(f.get())) != EOF && c != '\n') {
+      line.push_back(static_cast<char>(c));
+    }
+    if (!line.empty()) {
+      const char* p = line.c_str();
+      char* end = nullptr;
+      while (*p != '\0') {
+        const unsigned long long v = std::strtoull(p, &end, 10);
+        if (end == p) {
+          return InvalidArgumentError(path + ":" +
+                                      std::to_string(line_number) +
+                                      ": expected vertex ids");
+        }
+        if (v >= graph::kInvalidVertex) {
+          return OutOfRangeError(path + ":" + std::to_string(line_number) +
+                                 ": vertex id too large");
+        }
+        corpus.vertices.push_back(static_cast<graph::VertexId>(v));
+        p = end;
+        while (*p == ' ' || *p == '\t' || *p == '\r') {
+          ++p;
+        }
+      }
+      corpus.offsets.push_back(
+          static_cast<uint32_t>(corpus.vertices.size()));
+      any = true;
+    }
+    if (c == EOF) {
+      break;
+    }
+    ++line_number;
+  }
+  if (!any) {
+    return InvalidArgumentError(path + ": no walks");
+  }
+  return corpus;
+}
+
+Status WriteCorpusBinary(const baseline::WalkOutput& corpus,
+                         const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) {
+    return IoError("cannot open " + path + " for writing");
+  }
+  bool ok = std::fwrite(kCorpusMagic, sizeof(kCorpusMagic), 1, f.get()) == 1;
+  const uint64_t num_offsets = corpus.offsets.size();
+  const uint64_t num_vertices = corpus.vertices.size();
+  ok = ok && std::fwrite(&num_offsets, sizeof(num_offsets), 1, f.get()) == 1;
+  ok = ok &&
+       std::fwrite(&num_vertices, sizeof(num_vertices), 1, f.get()) == 1;
+  ok = ok && (num_offsets == 0 ||
+              std::fwrite(corpus.offsets.data(), sizeof(uint32_t),
+                          num_offsets, f.get()) == num_offsets);
+  ok = ok && (num_vertices == 0 ||
+              std::fwrite(corpus.vertices.data(), sizeof(graph::VertexId),
+                          num_vertices, f.get()) == num_vertices);
+  if (!ok) {
+    return IoError("write failed for " + path);
+  }
+  return Status::Ok();
+}
+
+StatusOr<baseline::WalkOutput> ReadCorpusBinary(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) {
+    return IoError("cannot open " + path);
+  }
+  char magic[sizeof(kCorpusMagic)];
+  if (std::fread(magic, sizeof(magic), 1, f.get()) != 1 ||
+      std::memcmp(magic, kCorpusMagic, sizeof(magic)) != 0) {
+    return InvalidArgumentError(path + ": not a LightRW walk corpus");
+  }
+  uint64_t num_offsets = 0, num_vertices = 0;
+  if (std::fread(&num_offsets, sizeof(num_offsets), 1, f.get()) != 1 ||
+      std::fread(&num_vertices, sizeof(num_vertices), 1, f.get()) != 1) {
+    return IoError(path + ": truncated corpus header");
+  }
+  baseline::WalkOutput corpus;
+  corpus.offsets.resize(num_offsets);
+  corpus.vertices.resize(num_vertices);
+  if (num_offsets > 0 &&
+      std::fread(corpus.offsets.data(), sizeof(uint32_t), num_offsets,
+                 f.get()) != num_offsets) {
+    return IoError(path + ": truncated corpus offsets");
+  }
+  if (num_vertices > 0 &&
+      std::fread(corpus.vertices.data(), sizeof(graph::VertexId),
+                 num_vertices, f.get()) != num_vertices) {
+    return IoError(path + ": truncated corpus vertices");
+  }
+  // Validate structure: offsets monotone, first 0, last == vertex count.
+  if (corpus.offsets.empty() || corpus.offsets.front() != 0 ||
+      corpus.offsets.back() != corpus.vertices.size()) {
+    return InvalidArgumentError(path + ": inconsistent corpus offsets");
+  }
+  for (size_t i = 1; i < corpus.offsets.size(); ++i) {
+    if (corpus.offsets[i] < corpus.offsets[i - 1]) {
+      return InvalidArgumentError(path + ": non-monotone corpus offsets");
+    }
+  }
+  return corpus;
+}
+
+}  // namespace lightrw::analytics

@@ -1,0 +1,91 @@
+#include "analytics/link_prediction.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "rng/rng.h"
+
+namespace lightrw::analytics {
+
+LinkPredictionResult EvaluateLinkPrediction(const graph::CsrGraph& graph,
+                                            const Embedding& embedding,
+                                            size_t num_pairs, uint64_t seed) {
+  LIGHTRW_CHECK(num_pairs >= 1);
+  LIGHTRW_CHECK(graph.num_edges() > 0);
+  rng::Xoshiro256StarStar gen(seed);
+
+  std::vector<double> positive_scores;
+  std::vector<double> negative_scores;
+  positive_scores.reserve(num_pairs);
+  negative_scores.reserve(num_pairs);
+
+  // Positive pairs: uniform existing edges (sample a col_index slot).
+  const auto col = graph.col_dst();
+  for (size_t i = 0; i < num_pairs; ++i) {
+    const uint64_t slot = gen.NextBounded(graph.num_edges());
+    // Find the source vertex owning this slot by binary search on
+    // row_index.
+    const auto row = graph.row_index();
+    const auto it = std::upper_bound(row.begin(), row.end(), slot);
+    const graph::VertexId src =
+        static_cast<graph::VertexId>(it - row.begin() - 1);
+    positive_scores.push_back(embedding.CosineSimilarity(src, col[slot]));
+  }
+
+  // Negative pairs: uniform vertex pairs that are not edges.
+  for (size_t i = 0; i < num_pairs; ++i) {
+    graph::VertexId u, v;
+    int attempts = 0;
+    do {
+      u = static_cast<graph::VertexId>(gen.NextBounded(graph.num_vertices()));
+      v = static_cast<graph::VertexId>(gen.NextBounded(graph.num_vertices()));
+      ++attempts;
+    } while ((u == v || graph.HasEdge(u, v)) && attempts < 64);
+    negative_scores.push_back(embedding.CosineSimilarity(u, v));
+  }
+
+  // AUC by pairwise comparison on the sampled sets.
+  uint64_t wins = 0, ties = 0;
+  for (const double p : positive_scores) {
+    for (const double n : negative_scores) {
+      if (p > n) {
+        ++wins;
+      } else if (p == n) {
+        ++ties;
+      }
+    }
+  }
+  LinkPredictionResult result;
+  const double comparisons =
+      static_cast<double>(positive_scores.size()) * negative_scores.size();
+  result.auc = (static_cast<double>(wins) + 0.5 * ties) / comparisons;
+  result.positive_pairs = positive_scores.size();
+  result.negative_pairs = negative_scores.size();
+  return result;
+}
+
+std::vector<std::pair<graph::VertexId, graph::VertexId>> PredictTopLinks(
+    const graph::CsrGraph& graph, const Embedding& embedding,
+    std::span<const std::pair<graph::VertexId, graph::VertexId>> candidates,
+    size_t top_k) {
+  std::vector<std::pair<double, size_t>> scored;
+  scored.reserve(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const auto [u, v] = candidates[i];
+    if (graph.HasEdge(u, v)) {
+      continue;  // already connected
+    }
+    scored.emplace_back(embedding.CosineSimilarity(u, v), i);
+  }
+  const size_t k = std::min(top_k, scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + k, scored.end(),
+                    [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::vector<std::pair<graph::VertexId, graph::VertexId>> result;
+  result.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    result.push_back(candidates[scored[i].second]);
+  }
+  return result;
+}
+
+}  // namespace lightrw::analytics

@@ -1,0 +1,41 @@
+// Link prediction over vertex embeddings (paper §6.7).
+//
+// Scores a candidate pair by the cosine similarity of its embeddings and
+// evaluates how well that score separates held-out true edges from random
+// non-edges (AUC), which is the standard node2vec link-prediction setup.
+
+#ifndef LIGHTRW_ANALYTICS_LINK_PREDICTION_H_
+#define LIGHTRW_ANALYTICS_LINK_PREDICTION_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "analytics/embedding.h"
+#include "graph/csr.h"
+
+namespace lightrw::analytics {
+
+struct LinkPredictionResult {
+  // Probability that a random true edge scores above a random non-edge.
+  double auc = 0.0;
+  size_t positive_pairs = 0;
+  size_t negative_pairs = 0;
+};
+
+// Samples `num_pairs` existing edges and `num_pairs` uniform non-edges,
+// scores both with cosine similarity, and computes the AUC.
+LinkPredictionResult EvaluateLinkPrediction(const graph::CsrGraph& graph,
+                                            const Embedding& embedding,
+                                            size_t num_pairs, uint64_t seed);
+
+// Ranks the `top_k` most likely new edges among `candidates` (pairs that
+// are not currently connected), highest similarity first.
+std::vector<std::pair<graph::VertexId, graph::VertexId>> PredictTopLinks(
+    const graph::CsrGraph& graph, const Embedding& embedding,
+    std::span<const std::pair<graph::VertexId, graph::VertexId>> candidates,
+    size_t top_k);
+
+}  // namespace lightrw::analytics
+
+#endif  // LIGHTRW_ANALYTICS_LINK_PREDICTION_H_

@@ -1,0 +1,108 @@
+#include "analytics/ppr.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace lightrw::analytics {
+
+std::vector<double> ExactPpr(const graph::CsrGraph& graph,
+                             graph::VertexId source, double alpha,
+                             double tolerance, int max_iterations) {
+  LIGHTRW_CHECK(source < graph.num_vertices());
+  LIGHTRW_CHECK(alpha > 0.0 && alpha < 1.0);
+  const graph::VertexId n = graph.num_vertices();
+
+  // Computes the terminal distribution of the engine's PPR walk process
+  // exactly: from `cur` (mass still walking), one step moves mass along
+  // weighted edges; mass on dangling vertices ends there; after each step
+  // a fraction alpha stops. This equals the standard PPR vector up to the
+  // (pi - alpha*e_s) / (1 - alpha) transform on dangling-free graphs.
+  std::vector<double> cur(n, 0.0);
+  std::vector<double> next(n, 0.0);
+  std::vector<double> terminal(n, 0.0);
+  cur[source] = 1.0;
+
+  for (int iteration = 0; iteration < max_iterations; ++iteration) {
+    std::fill(next.begin(), next.end(), 0.0);
+    double moved = 0.0;
+    for (graph::VertexId v = 0; v < n; ++v) {
+      if (cur[v] == 0.0) {
+        continue;
+      }
+      const auto neighbors = graph.Neighbors(v);
+      if (neighbors.empty()) {
+        terminal[v] += cur[v];  // dead end: the walk ends here
+        continue;
+      }
+      const auto weights = graph.NeighborWeights(v);
+      double total = 0.0;
+      for (const auto w : weights) {
+        total += w;
+      }
+      for (size_t i = 0; i < neighbors.size(); ++i) {
+        next[neighbors[i]] += cur[v] * weights[i] / total;
+      }
+      moved += cur[v];
+    }
+    // A fraction alpha of the walkers stops after this step.
+    for (graph::VertexId v = 0; v < n; ++v) {
+      terminal[v] += alpha * next[v];
+      cur[v] = (1.0 - alpha) * next[v];
+    }
+    if (moved * (1.0 - alpha) < tolerance) {
+      break;
+    }
+  }
+  // Whatever mass is still walking at the iteration cap ends in place.
+  for (graph::VertexId v = 0; v < n; ++v) {
+    terminal[v] += cur[v];
+  }
+  return terminal;
+}
+
+std::vector<double> EstimatePprFromWalks(const baseline::WalkOutput& walks,
+                                         graph::VertexId num_vertices) {
+  std::vector<double> estimate(num_vertices, 0.0);
+  if (walks.num_paths() == 0) {
+    return estimate;
+  }
+  for (size_t i = 0; i < walks.num_paths(); ++i) {
+    const auto path = walks.Path(i);
+    LIGHTRW_CHECK(!path.empty());
+    estimate[path.back()] += 1.0;
+  }
+  const double scale = 1.0 / static_cast<double>(walks.num_paths());
+  for (auto& x : estimate) {
+    x *= scale;
+  }
+  return estimate;
+}
+
+double L1Distance(const std::vector<double>& a,
+                  const std::vector<double>& b) {
+  LIGHTRW_CHECK_EQ(a.size(), b.size());
+  double distance = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    distance += std::abs(a[i] - b[i]);
+  }
+  return distance;
+}
+
+std::vector<graph::VertexId> TopKIndices(const std::vector<double>& scores,
+                                         size_t k) {
+  std::vector<graph::VertexId> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  k = std::min(k, order.size());
+  std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                    [&](graph::VertexId a, graph::VertexId b) {
+                      return scores[a] != scores[b] ? scores[a] > scores[b]
+                                                    : a < b;
+                    });
+  order.resize(k);
+  return order;
+}
+
+}  // namespace lightrw::analytics

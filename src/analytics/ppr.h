@@ -1,0 +1,40 @@
+// Personalized PageRank utilities: an exact power-iteration solver and a
+// Monte Carlo estimator over walk outputs. Used by the PPR example and as
+// a whole-stack correctness check (walk end-point frequencies must
+// converge to the exact PPR vector).
+
+#ifndef LIGHTRW_ANALYTICS_PPR_H_
+#define LIGHTRW_ANALYTICS_PPR_H_
+
+#include <vector>
+
+#include "baseline/engine.h"
+#include "graph/csr.h"
+
+namespace lightrw::analytics {
+
+// Exact personalized PageRank of source `source` with stop probability
+// `alpha` (damping 1 - alpha) by power iteration on the weighted
+// transition matrix. Dangling mass is returned to the source. Iterates
+// until the L1 change falls below `tolerance`.
+std::vector<double> ExactPpr(const graph::CsrGraph& graph,
+                             graph::VertexId source, double alpha,
+                             double tolerance = 1e-10,
+                             int max_iterations = 200);
+
+// Monte Carlo PPR estimate: the normalized frequency of walk end points
+// in `walks` (all assumed to start at the same source and to have been
+// generated with PprApp(alpha)).
+std::vector<double> EstimatePprFromWalks(const baseline::WalkOutput& walks,
+                                         graph::VertexId num_vertices);
+
+// L1 distance between two distributions of equal length.
+double L1Distance(const std::vector<double>& a, const std::vector<double>& b);
+
+// Indices of the top-k entries of `scores`, descending.
+std::vector<graph::VertexId> TopKIndices(const std::vector<double>& scores,
+                                         size_t k);
+
+}  // namespace lightrw::analytics
+
+#endif  // LIGHTRW_ANALYTICS_PPR_H_

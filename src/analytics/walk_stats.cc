@@ -1,0 +1,78 @@
+#include "analytics/walk_stats.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace lightrw::analytics {
+
+std::vector<uint64_t> VisitCounts(const baseline::WalkOutput& corpus,
+                                  graph::VertexId num_vertices) {
+  std::vector<uint64_t> counts(num_vertices, 0);
+  for (const graph::VertexId v : corpus.vertices) {
+    LIGHTRW_CHECK(v < num_vertices);
+    ++counts[v];
+  }
+  return counts;
+}
+
+CorpusStats ComputeCorpusStats(const baseline::WalkOutput& corpus,
+                               graph::VertexId num_vertices) {
+  CorpusStats stats;
+  stats.num_walks = corpus.num_paths();
+  stats.total_vertices = corpus.vertices.size();
+  if (stats.num_walks == 0) {
+    return stats;
+  }
+
+  uint32_t min_length = UINT32_MAX;
+  uint32_t max_length = 0;
+  for (size_t i = 0; i < corpus.num_paths(); ++i) {
+    const uint32_t hops =
+        static_cast<uint32_t>(corpus.Path(i).size()) - 1;
+    min_length = std::min(min_length, hops);
+    max_length = std::max(max_length, hops);
+  }
+  stats.min_length = min_length;
+  stats.max_length = max_length;
+  stats.mean_length =
+      static_cast<double>(stats.total_vertices - stats.num_walks) /
+      static_cast<double>(stats.num_walks);
+
+  const auto counts = VisitCounts(corpus, num_vertices);
+  uint64_t covered = 0;
+  for (const uint64_t c : counts) {
+    covered += c > 0 ? 1 : 0;
+  }
+  stats.coverage =
+      num_vertices == 0
+          ? 0.0
+          : static_cast<double>(covered) / static_cast<double>(num_vertices);
+
+  std::vector<uint64_t> sorted = counts;
+  std::sort(sorted.rbegin(), sorted.rend());
+  const size_t top = std::max<size_t>(1, sorted.size() / 100);
+  uint64_t top_visits = 0;
+  for (size_t i = 0; i < top; ++i) {
+    top_visits += sorted[i];
+  }
+  stats.top1pct_visit_share =
+      stats.total_vertices == 0
+          ? 0.0
+          : static_cast<double>(top_visits) /
+                static_cast<double>(stats.total_vertices);
+  return stats;
+}
+
+std::vector<uint64_t> LengthHistogram(const baseline::WalkOutput& corpus,
+                                      uint32_t max_buckets) {
+  LIGHTRW_CHECK(max_buckets >= 1);
+  std::vector<uint64_t> histogram(max_buckets + 1, 0);
+  for (size_t i = 0; i < corpus.num_paths(); ++i) {
+    const size_t hops = corpus.Path(i).size() - 1;
+    ++histogram[std::min<size_t>(hops, max_buckets)];
+  }
+  return histogram;
+}
+
+}  // namespace lightrw::analytics

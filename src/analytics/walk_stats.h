@@ -1,0 +1,42 @@
+// Walk corpus statistics: visit distributions, coverage, and length
+// histograms. Used to sanity-check walk quality (e.g. that the corpus
+// covers the graph before embedding training) and by the examples.
+
+#ifndef LIGHTRW_ANALYTICS_WALK_STATS_H_
+#define LIGHTRW_ANALYTICS_WALK_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "baseline/engine.h"
+#include "graph/types.h"
+
+namespace lightrw::analytics {
+
+struct CorpusStats {
+  size_t num_walks = 0;
+  uint64_t total_vertices = 0;     // tokens in the corpus
+  double mean_length = 0.0;        // hops per walk (tokens - 1)
+  uint32_t max_length = 0;
+  uint32_t min_length = 0;
+  // Vertices visited at least once / total vertices.
+  double coverage = 0.0;
+  // Fraction of all visits landing on the top 1% most-visited vertices.
+  double top1pct_visit_share = 0.0;
+};
+
+CorpusStats ComputeCorpusStats(const baseline::WalkOutput& corpus,
+                               graph::VertexId num_vertices);
+
+// Visit counts per vertex across the whole corpus.
+std::vector<uint64_t> VisitCounts(const baseline::WalkOutput& corpus,
+                                  graph::VertexId num_vertices);
+
+// Histogram of walk hop counts (bucket i = walks with exactly i hops, up
+// to `max_buckets`; longer walks land in the overflow bucket).
+std::vector<uint64_t> LengthHistogram(const baseline::WalkOutput& corpus,
+                                      uint32_t max_buckets);
+
+}  // namespace lightrw::analytics
+
+#endif  // LIGHTRW_ANALYTICS_WALK_STATS_H_

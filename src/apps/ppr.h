@@ -1,0 +1,40 @@
+// Personalized PageRank (PPR) random walks.
+//
+// ThunderRW's application suite includes PPR alongside DeepWalk, Node2Vec
+// and MetaPath; LightRW's walk engines support it through the per-step
+// stop probability: a walker terminates after each step with probability
+// alpha, so the distribution of walk end points from a source s estimates
+// the personalized PageRank vector of s (the standard Monte Carlo
+// estimator).
+
+#ifndef LIGHTRW_APPS_PPR_H_
+#define LIGHTRW_APPS_PPR_H_
+
+#include "apps/walk_app.h"
+
+namespace lightrw::apps {
+
+// First-order weighted walk with geometric termination.
+class PprApp : public WalkApp {
+ public:
+  // alpha in (0, 1): per-step stop probability (PageRank damping is
+  // 1 - alpha; the common choice alpha = 0.15).
+  explicit PprApp(double alpha);
+
+  std::string name() const override { return "PPR"; }
+
+  Weight DynamicWeight(const CsrGraph& graph, const WalkState& state,
+                       VertexId dst, Weight static_weight,
+                       Relation relation) const override;
+
+  double stop_probability() const override { return alpha_; }
+
+  double alpha() const { return alpha_; }
+
+ private:
+  double alpha_;
+};
+
+}  // namespace lightrw::apps
+
+#endif  // LIGHTRW_APPS_PPR_H_

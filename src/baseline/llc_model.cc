@@ -1,0 +1,39 @@
+#include "baseline/llc_model.h"
+
+namespace lightrw::baseline {
+
+LlcModel::LlcModel(uint64_t capacity_bytes, uint32_t line_bytes)
+    : line_bytes_(line_bytes) {
+  LIGHTRW_CHECK(IsPowerOfTwo(line_bytes));
+  LIGHTRW_CHECK(capacity_bytes >= line_bytes);
+  LIGHTRW_CHECK(capacity_bytes % line_bytes == 0);
+  line_shift_ = FloorLog2(line_bytes);
+  num_lines_ = capacity_bytes / line_bytes;
+  LIGHTRW_CHECK(IsPowerOfTwo(num_lines_));
+  tags_.assign(num_lines_, 0);
+  valid_.assign(num_lines_, false);
+}
+
+bool LlcModel::Probe(uint64_t address) {
+  const uint64_t line = address >> line_shift_;
+  const uint64_t set = line & (num_lines_ - 1);
+  const uint64_t tag = line >> FloorLog2(num_lines_);
+  if (valid_[set] && tags_[set] == tag) {
+    ++hits_;
+    return true;
+  }
+  valid_[set] = true;
+  tags_[set] = tag;
+  ++misses_;
+  return false;
+}
+
+void LlcModel::ProbeRange(uint64_t address, uint64_t bytes) {
+  const uint64_t first = address >> line_shift_;
+  const uint64_t last = (address + (bytes == 0 ? 0 : bytes - 1)) >> line_shift_;
+  for (uint64_t line = first; line <= last; ++line) {
+    Probe(line << line_shift_);
+  }
+}
+
+}  // namespace lightrw::baseline

@@ -1,0 +1,65 @@
+#include "baseline/rejection.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "sampling/sampler.h"
+
+namespace lightrw::baseline {
+
+Node2VecRejectionWalker::Node2VecRejectionWalker(
+    const graph::CsrGraph* graph, double p, double q, uint64_t seed)
+    : graph_(graph), index_(*graph), gen_(seed) {
+  LIGHTRW_CHECK(graph != nullptr);
+  LIGHTRW_CHECK(p > 0.0);
+  LIGHTRW_CHECK(q > 0.0);
+  inv_p_ = 1.0 / p;
+  inv_q_ = 1.0 / q;
+  max_scale_ = std::max({inv_p_, 1.0, inv_q_});
+}
+
+graph::VertexId Node2VecRejectionWalker::SampleNext(graph::VertexId curr,
+                                                    graph::VertexId prev) {
+  if (graph_->Degree(curr) == 0) {
+    return graph::kInvalidVertex;
+  }
+  const auto neighbors = graph_->Neighbors(curr);
+
+  // First step (no second-order context): the static draw is exact.
+  if (prev == graph::kInvalidVertex) {
+    const size_t slot = index_.Sample(curr, gen_.Next(), gen_.Next32());
+    ++trials_;
+    ++accepts_;
+    return slot == sampling::kNoSample ? graph::kInvalidVertex
+                                       : neighbors[slot];
+  }
+
+  // Rejection loop: candidate ~ static weights; accept w.p. scale/s_max.
+  // The acceptance probability is bounded below by min_scale/max_scale,
+  // so the loop terminates quickly in expectation; the iteration cap only
+  // guards against adversarial q >> p configurations.
+  for (int attempt = 0; attempt < 4096; ++attempt) {
+    ++trials_;
+    const size_t slot = index_.Sample(curr, gen_.Next(), gen_.Next32());
+    if (slot == sampling::kNoSample) {
+      return graph::kInvalidVertex;  // all static weights zero
+    }
+    const graph::VertexId candidate = neighbors[slot];
+    double scale;
+    if (candidate == prev) {
+      scale = inv_p_;  // Eq. (2a)
+    } else if (graph_->HasEdge(prev, candidate)) {
+      scale = 1.0;  // Eq. (2b)
+    } else {
+      scale = inv_q_;  // Eq. (2c)
+    }
+    if (gen_.NextUnit() * max_scale_ < scale) {
+      ++accepts_;
+      return candidate;
+    }
+  }
+  // Statistically unreachable; treat as a dead end rather than looping.
+  return graph::kInvalidVertex;
+}
+
+}  // namespace lightrw::baseline

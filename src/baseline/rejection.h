@@ -1,0 +1,58 @@
+// Rejection sampling for Node2Vec on the CPU (KnightKing's technique).
+//
+// Instead of computing all |N(curr)| dynamic weights per step (Algorithm
+// 2.1), draw a candidate from the *static* weight distribution via the
+// precomputed per-vertex alias index, then accept it with probability
+// s / s_max, where s is the Node2Vec scale of that candidate (1/p, 1, or
+// 1/q) and s_max = max(1/p, 1, 1/q). One edge-existence probe per trial
+// replaces the full weight pass — O(1) expected work per step. This is
+// the strongest CPU-side algorithmic alternative to the paper's approach
+// and serves as an additional baseline.
+
+#ifndef LIGHTRW_BASELINE_REJECTION_H_
+#define LIGHTRW_BASELINE_REJECTION_H_
+
+#include <cstdint>
+
+#include "baseline/static_index.h"
+#include "graph/csr.h"
+#include "rng/rng.h"
+
+namespace lightrw::baseline {
+
+// Second-order (Node2Vec) rejection walker. Thread-compatible.
+class Node2VecRejectionWalker {
+ public:
+  // `graph` must outlive the walker; the static index is built here
+  // (O(|E|) preprocessing, shared by all steps).
+  Node2VecRejectionWalker(const graph::CsrGraph* graph, double p, double q,
+                          uint64_t seed);
+
+  // Samples the next vertex given the current and previous vertices
+  // (prev == kInvalidVertex on the first step). Returns kInvalidVertex at
+  // dead ends.
+  graph::VertexId SampleNext(graph::VertexId curr, graph::VertexId prev);
+
+  uint64_t trials() const { return trials_; }
+  uint64_t accepts() const { return accepts_; }
+  // Expected trials per accepted sample (1.0 = no rejections).
+  double TrialsPerSample() const {
+    return accepts_ == 0 ? 0.0
+                         : static_cast<double>(trials_) /
+                               static_cast<double>(accepts_);
+  }
+
+ private:
+  const graph::CsrGraph* graph_;
+  StaticWalkIndex index_;
+  rng::Xoshiro256StarStar gen_;
+  double inv_p_;
+  double inv_q_;
+  double max_scale_;
+  uint64_t trials_ = 0;
+  uint64_t accepts_ = 0;
+};
+
+}  // namespace lightrw::baseline
+
+#endif  // LIGHTRW_BASELINE_REJECTION_H_

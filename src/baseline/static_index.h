@@ -1,0 +1,52 @@
+// Precomputed sampling index for *static* random walks.
+//
+// §2.1 of the paper: when edge weights never change, per-edge transition
+// probabilities can be computed offline, so each step becomes an O(1)
+// alias-table draw with no weight pass at all. GDRWs cannot use this —
+// their weights depend on the walker's state — which is precisely why they
+// are expensive and why LightRW exists. This index implements the static
+// fast path so the repository can quantify the static/dynamic gap.
+
+#ifndef LIGHTRW_BASELINE_STATIC_INDEX_H_
+#define LIGHTRW_BASELINE_STATIC_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.h"
+#include "sampling/sampler.h"
+
+namespace lightrw::baseline {
+
+// Per-vertex alias tables over the static edge weights. Immutable after
+// construction; thread-safe for concurrent sampling.
+class StaticWalkIndex {
+ public:
+  // O(|E|) construction.
+  explicit StaticWalkIndex(const graph::CsrGraph& graph);
+
+  // Draws a neighbor slot of `v` (an index into graph.Neighbors(v)) from
+  // two uniform random values. Returns sampling::kNoSample if v has no
+  // sampleable neighbor.
+  size_t Sample(graph::VertexId v, uint64_t random_bucket,
+                uint32_t random_coin) const;
+
+  graph::VertexId num_vertices() const {
+    return static_cast<graph::VertexId>(offsets_.size() - 1);
+  }
+
+  // Memory footprint of the index (the intermediate-state cost the paper's
+  // Inefficiency 2 discusses: proportional to |E|).
+  uint64_t MemoryBytes() const;
+
+ private:
+  // Flattened per-vertex alias tables: vertex v owns slots
+  // [offsets_[v], offsets_[v+1]).
+  std::vector<uint64_t> offsets_;
+  std::vector<uint32_t> prob_;   // 32-bit fixed-point stay probability
+  std::vector<uint32_t> alias_;  // alias slot within the vertex's table
+};
+
+}  // namespace lightrw::baseline
+
+#endif  // LIGHTRW_BASELINE_STATIC_INDEX_H_

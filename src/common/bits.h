@@ -1,0 +1,45 @@
+// Small integer and bit-manipulation helpers shared by the samplers,
+// cache models, and burst scheduling logic.
+
+#ifndef LIGHTRW_COMMON_BITS_H_
+#define LIGHTRW_COMMON_BITS_H_
+
+#include <bit>
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace lightrw {
+
+// ceil(a / b) for positive integers.
+constexpr uint64_t CeilDiv(uint64_t a, uint64_t b) {
+  LIGHTRW_DCHECK(b != 0);
+  return (a + b - 1) / b;
+}
+
+// Rounds `a` up to the next multiple of `b`.
+constexpr uint64_t RoundUp(uint64_t a, uint64_t b) { return CeilDiv(a, b) * b; }
+
+constexpr bool IsPowerOfTwo(uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+// Smallest power of two >= x (x must be >= 1).
+constexpr uint64_t NextPowerOfTwo(uint64_t x) {
+  LIGHTRW_DCHECK(x >= 1);
+  return std::bit_ceil(x);
+}
+
+// floor(log2(x)) for x >= 1.
+constexpr uint32_t FloorLog2(uint64_t x) {
+  LIGHTRW_DCHECK(x >= 1);
+  return 63 - static_cast<uint32_t>(std::countl_zero(x));
+}
+
+// ceil(log2(x)) for x >= 1.
+constexpr uint32_t CeilLog2(uint64_t x) {
+  LIGHTRW_DCHECK(x >= 1);
+  return x == 1 ? 0 : FloorLog2(x - 1) + 1;
+}
+
+}  // namespace lightrw
+
+#endif  // LIGHTRW_COMMON_BITS_H_

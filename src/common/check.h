@@ -1,0 +1,49 @@
+// Assertion macros used across LightRW.
+//
+// The library does not use exceptions. Programming errors (precondition
+// violations, impossible states) abort the process with a message;
+// recoverable errors are reported through lightrw::Status.
+
+#ifndef LIGHTRW_COMMON_CHECK_H_
+#define LIGHTRW_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace lightrw::internal_check {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace lightrw::internal_check
+
+// Always-on invariant check.
+#define LIGHTRW_CHECK(expr)                                            \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::lightrw::internal_check::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                                  \
+  } while (0)
+
+#define LIGHTRW_CHECK_OP(a, op, b) LIGHTRW_CHECK((a)op(b))
+#define LIGHTRW_CHECK_EQ(a, b) LIGHTRW_CHECK_OP(a, ==, b)
+#define LIGHTRW_CHECK_NE(a, b) LIGHTRW_CHECK_OP(a, !=, b)
+#define LIGHTRW_CHECK_LT(a, b) LIGHTRW_CHECK_OP(a, <, b)
+#define LIGHTRW_CHECK_LE(a, b) LIGHTRW_CHECK_OP(a, <=, b)
+#define LIGHTRW_CHECK_GT(a, b) LIGHTRW_CHECK_OP(a, >, b)
+#define LIGHTRW_CHECK_GE(a, b) LIGHTRW_CHECK_OP(a, >=, b)
+
+// Debug-only check; compiled out in release builds.
+#ifdef NDEBUG
+#define LIGHTRW_DCHECK(expr) \
+  do {                       \
+  } while (0)
+#else
+#define LIGHTRW_DCHECK(expr) LIGHTRW_CHECK(expr)
+#endif
+
+#endif  // LIGHTRW_COMMON_CHECK_H_

@@ -1,0 +1,94 @@
+#include "common/flags.h"
+
+#include <cstdlib>
+
+#include "common/check.h"
+
+namespace lightrw {
+
+void FlagParser::Define(const std::string& name, const std::string& help,
+                        const std::string& default_value) {
+  LIGHTRW_CHECK(!name.empty());
+  flags_[name] = Flag{help, default_value};
+}
+
+Status FlagParser::Parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    std::string name, value;
+    bool has_value = false;
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+      has_value = true;
+    } else {
+      name = arg;
+    }
+    const auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      return InvalidArgumentError("unknown flag --" + name);
+    }
+    if (!has_value) {
+      // --name value form, or a bare boolean.
+      if (i + 1 < argc && argv[i + 1][0] != '-' &&
+          !(it->second.value == "true" || it->second.value == "false")) {
+        value = argv[++i];
+      } else {
+        value = "true";
+      }
+    }
+    it->second.value = value;
+  }
+  return Status::Ok();
+}
+
+const std::string& FlagParser::GetString(const std::string& name) const {
+  const auto it = flags_.find(name);
+  LIGHTRW_CHECK(it != flags_.end());
+  return it->second.value;
+}
+
+int64_t FlagParser::GetInt(const std::string& name) const {
+  const std::string& value = GetString(name);
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value.c_str(), &end, 10);
+  LIGHTRW_CHECK(end != value.c_str() && *end == '\0');
+  return parsed;
+}
+
+double FlagParser::GetDouble(const std::string& name) const {
+  const std::string& value = GetString(name);
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  LIGHTRW_CHECK(end != value.c_str() && *end == '\0');
+  return parsed;
+}
+
+bool FlagParser::GetBool(const std::string& name) const {
+  const std::string& value = GetString(name);
+  if (value == "true" || value == "1" || value == "yes") {
+    return true;
+  }
+  if (value == "false" || value == "0" || value == "no") {
+    return false;
+  }
+  LIGHTRW_CHECK(false && "boolean flag must be true/false/1/0/yes/no");
+  return false;
+}
+
+std::string FlagParser::HelpText() const {
+  std::string out;
+  for (const auto& [name, flag] : flags_) {
+    out += "  --" + name + " (default: " + flag.value + ")\n      " +
+           flag.help + "\n";
+  }
+  return out;
+}
+
+}  // namespace lightrw

@@ -1,0 +1,59 @@
+// Minimal command-line flag parsing for the example tools.
+//
+// Supports --name=value and --name value forms plus boolean --name.
+// Unrecognized flags are reported as errors; positional arguments are
+// collected in order.
+
+#ifndef LIGHTRW_COMMON_FLAGS_H_
+#define LIGHTRW_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace lightrw {
+
+// Parsed command line. Typical use:
+//
+//   FlagParser flags;
+//   flags.Define("length", "walk length", "80");
+//   flags.Define("verbose", "chatty output", "false");
+//   LIGHTRW_CHECK(flags.Parse(argc, argv).ok());
+//   const uint64_t length = flags.GetInt("length");
+class FlagParser {
+ public:
+  // Registers a flag with a default value (all flags are optional).
+  void Define(const std::string& name, const std::string& help,
+              const std::string& default_value);
+
+  // Parses argv; returns an error for unknown or malformed flags.
+  Status Parse(int argc, const char* const* argv);
+
+  // Accessors; the flag must have been Defined.
+  const std::string& GetString(const std::string& name) const;
+  // Accepts decimal integers; aborts on non-numeric values.
+  int64_t GetInt(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  // "true"/"1"/"yes" => true; "false"/"0"/"no" => false.
+  bool GetBool(const std::string& name) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  // Formatted help text listing all defined flags.
+  std::string HelpText() const;
+
+ private:
+  struct Flag {
+    std::string help;
+    std::string value;
+  };
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace lightrw
+
+#endif  // LIGHTRW_COMMON_FLAGS_H_

@@ -1,0 +1,79 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace lightrw {
+
+void SampleStats::Add(double value) {
+  samples_.push_back(value);
+  sum_ += value;
+  sorted_ = false;
+}
+
+void SampleStats::Merge(const SampleStats& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+  sum_ += other.sum_;
+  sorted_ = false;
+}
+
+void SampleStats::EnsureSorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double SampleStats::Mean() const {
+  LIGHTRW_CHECK(!samples_.empty());
+  return sum_ / static_cast<double>(samples_.size());
+}
+
+double SampleStats::Min() const {
+  EnsureSorted();
+  LIGHTRW_CHECK(!samples_.empty());
+  return samples_.front();
+}
+
+double SampleStats::Max() const {
+  EnsureSorted();
+  LIGHTRW_CHECK(!samples_.empty());
+  return samples_.back();
+}
+
+double SampleStats::Quantile(double q) const {
+  EnsureSorted();
+  LIGHTRW_CHECK(!samples_.empty());
+  LIGHTRW_CHECK(q >= 0.0 && q <= 1.0);
+  if (samples_.size() == 1) {
+    return samples_.front();
+  }
+  const double rank = q * static_cast<double>(samples_.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double SampleStats::StdDev() const {
+  LIGHTRW_CHECK(!samples_.empty());
+  const double mean = Mean();
+  double acc = 0.0;
+  for (double s : samples_) {
+    const double d = s - mean;
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(samples_.size()));
+}
+
+void CountHistogram::Add(uint64_t value) {
+  const size_t idx =
+      value < num_buckets() ? static_cast<size_t>(value) : buckets_.size() - 1;
+  ++buckets_[idx];
+  ++total_;
+}
+
+}  // namespace lightrw

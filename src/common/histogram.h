@@ -1,0 +1,65 @@
+// Sample accumulator with exact quantiles, used for the latency
+// distribution study (paper Fig. 15) and test assertions.
+
+#ifndef LIGHTRW_COMMON_HISTOGRAM_H_
+#define LIGHTRW_COMMON_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lightrw {
+
+// Collects double-valued samples and reports order statistics. Quantiles
+// are exact (computed over the stored samples), which is fine at the scales
+// used here (tens of thousands of per-query latencies).
+class SampleStats {
+ public:
+  void Add(double value);
+  void Reserve(size_t n) { samples_.reserve(n); }
+
+  // Appends all of `other`'s samples (used to combine per-worker stats).
+  void Merge(const SampleStats& other);
+
+  size_t count() const { return samples_.size(); }
+  double sum() const { return sum_; }
+  double Mean() const;
+  double Min() const;
+  double Max() const;
+  // q in [0, 1]; linear interpolation between closest ranks.
+  double Quantile(double q) const;
+  double Median() const { return Quantile(0.5); }
+  double StdDev() const;
+
+ private:
+  // Sorts samples_ if new samples arrived since the last query.
+  void EnsureSorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+  double sum_ = 0.0;
+};
+
+// Fixed-bucket counting histogram for integer-valued observations
+// (e.g. degrees, burst lengths). Bucket i counts values == i; values at or
+// above the bucket count land in the overflow bucket.
+class CountHistogram {
+ public:
+  explicit CountHistogram(size_t num_buckets)
+      : buckets_(num_buckets + 1, 0) {}
+
+  void Add(uint64_t value);
+
+  uint64_t total() const { return total_; }
+  uint64_t bucket(size_t i) const { return buckets_[i]; }
+  uint64_t overflow() const { return buckets_.back(); }
+  size_t num_buckets() const { return buckets_.size() - 1; }
+
+ private:
+  std::vector<uint64_t> buckets_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace lightrw
+
+#endif  // LIGHTRW_COMMON_HISTOGRAM_H_

@@ -1,0 +1,122 @@
+// Minimal Status / StatusOr error-reporting types.
+//
+// LightRW is exception-free: fallible operations (parsing a graph file,
+// validating a configuration) return Status or StatusOr<T>.
+
+#ifndef LIGHTRW_COMMON_STATUS_H_
+#define LIGHTRW_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "common/check.h"
+
+namespace lightrw {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+  kUnimplemented,
+  kIoError,
+};
+
+// Returns a stable human-readable name, e.g. "INVALID_ARGUMENT".
+std::string_view StatusCodeName(StatusCode code);
+
+// Value-type result of a fallible operation: a code plus a message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "INVALID_ARGUMENT: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status InvalidArgumentError(std::string message) {
+  return Status(StatusCode::kInvalidArgument, std::move(message));
+}
+inline Status NotFoundError(std::string message) {
+  return Status(StatusCode::kNotFound, std::move(message));
+}
+inline Status OutOfRangeError(std::string message) {
+  return Status(StatusCode::kOutOfRange, std::move(message));
+}
+inline Status FailedPreconditionError(std::string message) {
+  return Status(StatusCode::kFailedPrecondition, std::move(message));
+}
+inline Status InternalError(std::string message) {
+  return Status(StatusCode::kInternal, std::move(message));
+}
+inline Status UnimplementedError(std::string message) {
+  return Status(StatusCode::kUnimplemented, std::move(message));
+}
+inline Status IoError(std::string message) {
+  return Status(StatusCode::kIoError, std::move(message));
+}
+
+// Holds either a T or a non-OK Status. Accessing the value of a non-OK
+// StatusOr aborts, so call ok() first on fallible paths.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    LIGHTRW_CHECK(!status_.ok());
+  }
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    LIGHTRW_CHECK(ok());
+    return *value_;
+  }
+  T& value() & {
+    LIGHTRW_CHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    LIGHTRW_CHECK(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Propagates a non-OK status to the caller.
+#define LIGHTRW_RETURN_IF_ERROR(expr)          \
+  do {                                         \
+    ::lightrw::Status status_macro_ = (expr);  \
+    if (!status_macro_.ok()) {                 \
+      return status_macro_;                    \
+    }                                          \
+  } while (0)
+
+}  // namespace lightrw
+
+#endif  // LIGHTRW_COMMON_STATUS_H_

@@ -1,0 +1,36 @@
+// Wall-clock timer used by the CPU baseline measurements and benchmarks.
+
+#ifndef LIGHTRW_COMMON_TIMER_H_
+#define LIGHTRW_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace lightrw {
+
+// Monotonic stopwatch. Starts running on construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  uint64_t ElapsedNanos() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace lightrw
+
+#endif  // LIGHTRW_COMMON_TIMER_H_

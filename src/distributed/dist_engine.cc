@@ -1,0 +1,265 @@
+#include "distributed/dist_engine.h"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "common/bits.h"
+#include "common/check.h"
+#include "lightrw/burst_engine.h"
+#include "lightrw/step_sampler.h"
+#include "lightrw/vertex_cache.h"
+#include "rng/rng.h"
+
+namespace lightrw::distributed {
+
+namespace {
+
+using apps::WalkState;
+using graph::VertexId;
+using hwsim::Cycle;
+
+// Per-board datapath: one LightRW accelerator channel plus an egress link.
+struct Board {
+  Board(const core::AcceleratorConfig& config,
+        const hwsim::LinkConfig& link_config, uint64_t seed)
+      : channel(config.dram),
+        burst(&channel, config.burst),
+        cache(core::MakeVertexCache(config.cache_kind, config.cache_entries)),
+        rng(config.sampler_parallelism, seed),
+        sampler(config.sampler_parallelism, &rng),
+        link(link_config) {}
+
+  hwsim::DramChannel channel;
+  core::DynamicBurstEngine burst;
+  std::unique_ptr<core::VertexCache> cache;
+  rng::ThunderingRng rng;
+  core::StepSampler sampler;
+  hwsim::NetworkLink link;
+  hwsim::Cycle sampler_busy = 0;  // the k-wide sampler unit is shared
+};
+
+enum class Phase { kInfo, kFetch };
+
+struct Walker {
+  WalkState state;
+  uint32_t remaining = 0;
+  size_t query_index = 0;
+  BoardId board = 0;
+  Phase phase = Phase::kInfo;
+  std::vector<VertexId> path;
+};
+
+}  // namespace
+
+DistributedEngine::DistributedEngine(const graph::CsrGraph* graph,
+                                     const apps::WalkApp* app,
+                                     const Partition* partition,
+                                     const DistributedConfig& config)
+    : graph_(graph), app_(app), partition_(partition), config_(config) {
+  LIGHTRW_CHECK(graph != nullptr);
+  LIGHTRW_CHECK(app != nullptr);
+  LIGHTRW_CHECK(partition != nullptr);
+  LIGHTRW_CHECK_EQ(partition->owners().size(), graph->num_vertices());
+}
+
+DistributedRunStats DistributedEngine::Run(
+    std::span<const apps::WalkQuery> queries,
+    baseline::WalkOutput* output) {
+  DistributedRunStats stats;
+  const BoardId num_boards = partition_->num_boards();
+
+  std::vector<Board> boards;
+  boards.reserve(num_boards);
+  for (BoardId b = 0; b < num_boards; ++b) {
+    boards.emplace_back(config_.board, config_.link,
+                        config_.board.seed + 0x51aab5ULL * (b + 1));
+  }
+  rng::Xoshiro256StarStar stop_gen(config_.board.seed ^ 0x5709ULL);
+  const double stop_probability = app_->stop_probability();
+
+  // Row lookup through a board's cache (same policy as the single-board
+  // engine's LookupNeighborInfo).
+  auto lookup_info = [&](Board& board, Cycle t, VertexId v) {
+    if (board.cache != nullptr && board.cache->Probe(v)) {
+      return t + 1;
+    }
+    const Cycle done = board.channel.Access(t, 1);
+    board.channel.ReportUseful(graph::kBytesPerRowRecord);
+    if (board.cache != nullptr) {
+      board.cache->Install(v, graph_->Degree(v));
+    }
+    return done;
+  };
+
+  const size_t max_inflight =
+      static_cast<size_t>(num_boards) * config_.inflight_walkers_per_board;
+  std::vector<Walker> walkers(std::min(max_inflight, queries.size()));
+  std::vector<std::vector<VertexId>> finished;
+  if (output != nullptr) {
+    finished.resize(queries.size());
+  }
+
+  using HeapItem = std::pair<Cycle, size_t>;  // (time, walker slot)
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
+  size_t next_query = 0;
+  Cycle makespan = 0;
+
+  auto load = [&](size_t slot, Cycle at) {
+    if (next_query >= queries.size()) {
+      return;
+    }
+    Walker& w = walkers[slot];
+    const apps::WalkQuery& q = queries[next_query];
+    w.state = WalkState{};
+    w.state.curr = q.start;
+    w.remaining = q.length;
+    w.query_index = next_query++;
+    // Replicated mode keeps a walker on its initial board for its whole
+    // life (any board can serve any vertex).
+    w.board = config_.replicate_graph
+                  ? static_cast<BoardId>(w.query_index % num_boards)
+                  : partition_->OwnerOf(q.start);
+    w.phase = Phase::kInfo;
+    w.path.clear();
+    w.path.push_back(q.start);
+    heap.emplace(at, slot);
+  };
+
+  auto retire = [&](size_t slot, Cycle at) {
+    Walker& w = walkers[slot];
+    if (output != nullptr) {
+      finished[w.query_index] = std::move(w.path);
+    }
+    ++stats.queries;
+    makespan = std::max(makespan, at);
+    load(slot, at);
+  };
+
+  for (size_t i = 0; i < walkers.size(); ++i) {
+    load(i, 0);
+  }
+
+  while (!heap.empty()) {
+    const auto [now, slot] = heap.top();
+    heap.pop();
+    Walker& w = walkers[slot];
+    Board& board = boards[w.board];
+
+    if (w.phase == Phase::kInfo) {
+      if (w.state.step >= w.remaining) {
+        retire(slot, now);
+        continue;
+      }
+      Cycle t_info = lookup_info(board, now, w.state.curr);
+      if (app_->needs_prev_neighbors() &&
+          w.state.prev != graph::kInvalidVertex) {
+        t_info = std::max(t_info, lookup_info(board, now, w.state.prev));
+      }
+      if (graph_->Degree(w.state.curr) == 0) {
+        retire(slot, t_info + config_.board.pipeline_depth_cycles);
+        continue;
+      }
+      w.phase = Phase::kFetch;
+      heap.emplace(t_info, slot);
+      continue;
+    }
+
+    // Phase::kFetch: adjacency stream + sampling on the owner board.
+    const uint32_t degree = graph_->Degree(w.state.curr);
+    Cycle t_fetch = now;
+    if (app_->needs_prev_neighbors() &&
+        w.state.prev != graph::kInvalidVertex) {
+      const uint32_t prev_degree = graph_->Degree(w.state.prev);
+      if (prev_degree > config_.board.prev_neighbor_buffer_edges) {
+        t_fetch = board.burst.Fetch(
+            t_fetch, static_cast<uint64_t>(prev_degree) *
+                         graph::kBytesPerEdgeRecord);
+      }
+    }
+    const Cycle last_data = board.burst.Fetch(
+        t_fetch, static_cast<uint64_t>(degree) * graph::kBytesPerEdgeRecord);
+    const Cycle first_data =
+        t_fetch + config_.board.dram.access_latency_cycles;
+    const Cycle consume_start = std::max(first_data, board.sampler_busy);
+    board.sampler_busy =
+        consume_start + CeilDiv(degree, config_.board.sampler_parallelism);
+    const Cycle step_end = std::max(last_data, board.sampler_busy) +
+                           config_.board.pipeline_depth_cycles;
+
+    const VertexId next = board.sampler.SampleNext(*graph_, *app_, w.state);
+    w.phase = Phase::kInfo;
+    if (next == graph::kInvalidVertex) {
+      retire(slot, step_end);
+      continue;
+    }
+    w.state.prev = w.state.curr;
+    w.state.curr = next;
+    ++w.state.step;
+    ++stats.steps;
+    w.path.push_back(next);
+
+    const bool stopped =
+        stop_probability > 0.0 && stop_gen.NextUnit() < stop_probability;
+    if (stopped || w.state.step >= w.remaining) {
+      retire(slot, step_end);
+      continue;
+    }
+
+    const BoardId next_board = config_.replicate_graph
+                                   ? w.board
+                                   : partition_->OwnerOf(next);
+    if (next_board != w.board) {
+      // Ship the walker state to the owner of the next vertex.
+      const Cycle arrival =
+          board.link.Send(step_end, config_.walker_message_bytes);
+      w.board = next_board;
+      ++stats.migrations;
+      heap.emplace(arrival, slot);
+    } else {
+      heap.emplace(step_end, slot);
+    }
+  }
+
+  for (const Board& board : boards) {
+    stats.dram.requests += board.channel.stats().requests;
+    stats.dram.beats += board.channel.stats().beats;
+    stats.dram.bytes += board.channel.stats().bytes;
+    stats.dram.busy_cycles += board.channel.stats().busy_cycles;
+    stats.dram.useful_bytes += board.channel.stats().useful_bytes;
+    stats.network.messages += board.link.stats().messages;
+    stats.network.payload_bytes += board.link.stats().payload_bytes;
+    stats.network.busy_cycles += board.link.stats().busy_cycles;
+  }
+  stats.cycles = makespan;
+  stats.seconds =
+      static_cast<double>(makespan) / config_.board.dram.clock_hz;
+  if (config_.replicate_graph) {
+    stats.per_board_graph_bytes = graph_->ModeledByteSize();
+  } else {
+    const auto counts = partition_->EdgeCounts(*graph_);
+    uint64_t max_edges = 0;
+    for (const uint64_t c : counts) {
+      max_edges = std::max(max_edges, c);
+    }
+    stats.per_board_graph_bytes =
+        max_edges * graph::kBytesPerEdgeRecord +
+        (graph_->num_vertices() + 1) * graph::kBytesPerRowRecord /
+            partition_->num_boards();
+  }
+
+  if (output != nullptr) {
+    for (auto& path : finished) {
+      output->vertices.insert(output->vertices.end(), path.begin(),
+                              path.end());
+      output->offsets.push_back(
+          static_cast<uint32_t>(output->vertices.size()));
+    }
+  }
+  return stats;
+}
+
+}  // namespace lightrw::distributed

@@ -1,0 +1,146 @@
+#include "distributed/partition.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+#include "graph/stats.h"
+
+namespace lightrw::distributed {
+
+Partition::Partition(std::vector<BoardId> owner, BoardId num_boards)
+    : owner_(std::move(owner)), num_boards_(num_boards) {
+  LIGHTRW_CHECK(num_boards >= 1);
+  for (const BoardId b : owner_) {
+    LIGHTRW_CHECK(b < num_boards);
+  }
+}
+
+std::vector<uint64_t> Partition::EdgeCounts(
+    const graph::CsrGraph& graph) const {
+  std::vector<uint64_t> counts(num_boards_, 0);
+  for (graph::VertexId v = 0; v < graph.num_vertices(); ++v) {
+    counts[owner_[v]] += graph.Degree(v);
+  }
+  return counts;
+}
+
+double Partition::CutRatio(const graph::CsrGraph& graph) const {
+  if (graph.num_edges() == 0) {
+    return 0.0;
+  }
+  uint64_t cut = 0;
+  for (graph::VertexId v = 0; v < graph.num_vertices(); ++v) {
+    const BoardId owner = owner_[v];
+    for (const graph::VertexId u : graph.Neighbors(v)) {
+      if (owner_[u] != owner) {
+        ++cut;
+      }
+    }
+  }
+  return static_cast<double>(cut) / static_cast<double>(graph.num_edges());
+}
+
+double Partition::EdgeImbalance(const graph::CsrGraph& graph) const {
+  const auto counts = EdgeCounts(graph);
+  const uint64_t max_count = *std::max_element(counts.begin(), counts.end());
+  const double mean = static_cast<double>(graph.num_edges()) / num_boards_;
+  return mean == 0.0 ? 1.0 : static_cast<double>(max_count) / mean;
+}
+
+namespace {
+
+std::vector<BoardId> HashOwners(const graph::CsrGraph& graph,
+                                BoardId num_boards) {
+  std::vector<BoardId> owner(graph.num_vertices());
+  for (graph::VertexId v = 0; v < graph.num_vertices(); ++v) {
+    // Multiplicative hash so contiguous communities do not all collide
+    // onto the same board.
+    owner[v] = static_cast<BoardId>(
+        (static_cast<uint64_t>(v) * 0x9e3779b97f4a7c15ULL >> 32) %
+        num_boards);
+  }
+  return owner;
+}
+
+std::vector<BoardId> RangeOwners(const graph::CsrGraph& graph,
+                                 BoardId num_boards) {
+  // Contiguous ranges with (approximately) equal edge counts.
+  std::vector<BoardId> owner(graph.num_vertices(), 0);
+  const uint64_t target =
+      graph.num_edges() / num_boards + 1;
+  BoardId board = 0;
+  uint64_t in_board = 0;
+  for (graph::VertexId v = 0; v < graph.num_vertices(); ++v) {
+    owner[v] = board;
+    in_board += graph.Degree(v);
+    if (in_board >= target && board + 1 < num_boards) {
+      ++board;
+      in_board = 0;
+    }
+  }
+  return owner;
+}
+
+std::vector<BoardId> GreedyOwners(const graph::CsrGraph& graph,
+                                  BoardId num_boards) {
+  constexpr BoardId kUnassigned = 0xffff;
+  std::vector<BoardId> owner(graph.num_vertices(), kUnassigned);
+  std::vector<uint64_t> load(num_boards, 0);
+  const uint64_t cap =
+      (graph.num_edges() / num_boards) * 5 / 4 + 16;  // 1.25x balance cap
+
+  // Place vertices in descending degree order: hubs first, then their
+  // neighborhoods cluster around them.
+  const auto order = graph::VerticesByDegreeDescending(graph);
+  std::vector<uint64_t> affinity(num_boards);
+  for (const graph::VertexId v : order) {
+    std::fill(affinity.begin(), affinity.end(), 0);
+    for (const graph::VertexId u : graph.Neighbors(v)) {
+      if (owner[u] != kUnassigned) {
+        ++affinity[owner[u]];
+      }
+    }
+    BoardId best = 0;
+    int64_t best_score = INT64_MIN;
+    for (BoardId b = 0; b < num_boards; ++b) {
+      if (load[b] + graph.Degree(v) > cap) {
+        continue;
+      }
+      // Prefer boards holding neighbors, break ties toward light load.
+      const int64_t score = static_cast<int64_t>(affinity[b]) * 1024 -
+                            static_cast<int64_t>(load[b] * 1024 /
+                                                 (cap + 1));
+      if (score > best_score) {
+        best_score = score;
+        best = b;
+      }
+    }
+    if (best_score == INT64_MIN) {
+      // All boards at cap (rounding): take the lightest.
+      best = static_cast<BoardId>(
+          std::min_element(load.begin(), load.end()) - load.begin());
+    }
+    owner[v] = best;
+    load[best] += graph.Degree(v);
+  }
+  return owner;
+}
+
+}  // namespace
+
+Partition MakePartition(const graph::CsrGraph& graph, BoardId num_boards,
+                        PartitionStrategy strategy) {
+  LIGHTRW_CHECK(num_boards >= 1);
+  switch (strategy) {
+    case PartitionStrategy::kHash:
+      return Partition(HashOwners(graph, num_boards), num_boards);
+    case PartitionStrategy::kRange:
+      return Partition(RangeOwners(graph, num_boards), num_boards);
+    case PartitionStrategy::kGreedy:
+      return Partition(GreedyOwners(graph, num_boards), num_boards);
+  }
+  return Partition(HashOwners(graph, num_boards), num_boards);
+}
+
+}  // namespace lightrw::distributed

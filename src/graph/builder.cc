@@ -1,0 +1,115 @@
+#include "graph/builder.h"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+#include "common/check.h"
+#include "rng/rng.h"
+
+namespace lightrw::graph {
+
+GraphBuilder::GraphBuilder(VertexId num_vertices, bool undirected)
+    : num_vertices_(num_vertices),
+      undirected_(undirected),
+      labels_(num_vertices, 0) {
+  LIGHTRW_CHECK(num_vertices < kInvalidVertex);
+}
+
+void GraphBuilder::AddEdge(VertexId src, VertexId dst, Weight weight,
+                           Relation relation) {
+  LIGHTRW_DCHECK(src < num_vertices_);
+  LIGHTRW_DCHECK(dst < num_vertices_);
+  edges_.push_back(EdgeInput{src, dst, weight, relation});
+}
+
+void GraphBuilder::SetVertexLabel(VertexId v, Label label) {
+  LIGHTRW_CHECK(v < num_vertices_);
+  labels_[v] = label;
+}
+
+void GraphBuilder::RandomizeAttributes(uint8_t num_labels,
+                                       uint8_t num_relations,
+                                       Weight max_weight, uint64_t seed) {
+  LIGHTRW_CHECK(num_labels >= 1);
+  LIGHTRW_CHECK(num_relations >= 1);
+  LIGHTRW_CHECK(max_weight >= 1);
+  rng::Xoshiro256StarStar gen(seed);
+  for (auto& label : labels_) {
+    label = static_cast<Label>(gen.NextBounded(num_labels));
+  }
+  for (auto& e : edges_) {
+    e.relation = static_cast<Relation>(gen.NextBounded(num_relations));
+    e.weight = static_cast<Weight>(1 + gen.NextBounded(max_weight));
+  }
+}
+
+CsrGraph GraphBuilder::Build() && {
+  // Materialize reverse edges for undirected graphs so both directions
+  // carry identical weight/relation attributes.
+  if (undirected_) {
+    const size_t n = edges_.size();
+    edges_.reserve(2 * n);
+    for (size_t i = 0; i < n; ++i) {
+      const EdgeInput& e = edges_[i];
+      if (e.src != e.dst) {
+        edges_.push_back(EdgeInput{e.dst, e.src, e.weight, e.relation});
+      }
+    }
+  }
+
+  CsrGraph graph;
+  graph.labels_ = std::move(labels_);
+
+  // Counting sort by source vertex.
+  std::vector<EdgeIndex> counts(num_vertices_ + 1, 0);
+  for (const EdgeInput& e : edges_) {
+    ++counts[e.src + 1];
+  }
+  std::partial_sum(counts.begin(), counts.end(), counts.begin());
+
+  std::vector<EdgeInput> sorted(edges_.size());
+  {
+    std::vector<EdgeIndex> cursor(counts.begin(), counts.end() - 1);
+    for (const EdgeInput& e : edges_) {
+      sorted[cursor[e.src]++] = e;
+    }
+  }
+  edges_.clear();
+  edges_.shrink_to_fit();
+
+  // Sort each adjacency list by destination and drop duplicate (u, v)
+  // pairs, keeping the first-added edge.
+  graph.row_index_.assign(1, 0);
+  graph.row_index_.reserve(num_vertices_ + 1);
+  graph.col_dst_.reserve(sorted.size());
+  graph.col_weight_.reserve(sorted.size());
+  graph.col_relation_.reserve(sorted.size());
+  uint32_t max_degree = 0;
+  for (VertexId v = 0; v < num_vertices_; ++v) {
+    const EdgeIndex begin = counts[v];
+    const EdgeIndex end = counts[v + 1];
+    std::stable_sort(sorted.begin() + begin, sorted.begin() + end,
+                     [](const EdgeInput& a, const EdgeInput& b) {
+                       return a.dst < b.dst;
+                     });
+    VertexId last_dst = kInvalidVertex;
+    for (EdgeIndex i = begin; i < end; ++i) {
+      if (sorted[i].dst == last_dst) {
+        continue;
+      }
+      last_dst = sorted[i].dst;
+      graph.col_dst_.push_back(sorted[i].dst);
+      graph.col_weight_.push_back(sorted[i].weight);
+      graph.col_relation_.push_back(sorted[i].relation);
+    }
+    graph.row_index_.push_back(graph.col_dst_.size());
+    const uint32_t degree = static_cast<uint32_t>(
+        graph.row_index_[v + 1] - graph.row_index_[v]);
+    max_degree = std::max(max_degree, degree);
+  }
+  graph.max_degree_ = max_degree;
+  return graph;
+}
+
+}  // namespace lightrw::graph

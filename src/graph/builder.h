@@ -1,0 +1,57 @@
+// Builds CsrGraph instances from edge lists.
+
+#ifndef LIGHTRW_GRAPH_BUILDER_H_
+#define LIGHTRW_GRAPH_BUILDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.h"
+#include "graph/types.h"
+
+namespace lightrw::graph {
+
+// Accumulates edges and produces a CsrGraph. Usage:
+//
+//   GraphBuilder builder(/*num_vertices=*/n, /*undirected=*/true);
+//   builder.AddEdge(u, v, weight, relation);
+//   CsrGraph g = std::move(builder).Build();
+//
+// In undirected mode every added edge is materialized in both directions
+// (the paper represents undirected graphs as two directed edges). Build()
+// sorts each adjacency list by destination and removes duplicate (u, v)
+// pairs, keeping the first occurrence.
+class GraphBuilder {
+ public:
+  GraphBuilder(VertexId num_vertices, bool undirected);
+
+  void Reserve(size_t num_edges) { edges_.reserve(num_edges); }
+
+  void AddEdge(VertexId src, VertexId dst, Weight weight = 1,
+               Relation relation = 0);
+
+  // Sets the label of one vertex (defaults to 0).
+  void SetVertexLabel(VertexId v, Label label);
+
+  // Assigns every vertex a uniform random label in [0, num_labels) and
+  // every edge a uniform random relation in [0, num_relations); weights are
+  // drawn uniformly from [1, max_weight]. Mirrors the paper's setup of
+  // initializing datasets with random edge weights and vertex labels.
+  void RandomizeAttributes(uint8_t num_labels, uint8_t num_relations,
+                           Weight max_weight, uint64_t seed);
+
+  size_t num_pending_edges() const { return edges_.size(); }
+
+  // Consumes the builder and produces the CSR graph.
+  CsrGraph Build() &&;
+
+ private:
+  VertexId num_vertices_;
+  bool undirected_;
+  std::vector<EdgeInput> edges_;
+  std::vector<Label> labels_;
+};
+
+}  // namespace lightrw::graph
+
+#endif  // LIGHTRW_GRAPH_BUILDER_H_

@@ -1,0 +1,78 @@
+#include "graph/components.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace lightrw::graph {
+
+namespace {
+
+// Path-halving union-find.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  uint32_t Find(uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void Union(uint32_t a, uint32_t b) {
+    const uint32_t ra = Find(a);
+    const uint32_t rb = Find(b);
+    if (ra != rb) {
+      // Union by index keeps the structure deterministic.
+      parent_[std::max(ra, rb)] = std::min(ra, rb);
+    }
+  }
+
+ private:
+  std::vector<uint32_t> parent_;
+};
+
+}  // namespace
+
+ConnectedComponents::ConnectedComponents(const CsrGraph& graph) {
+  const VertexId n = graph.num_vertices();
+  UnionFind uf(n);
+  for (VertexId v = 0; v < n; ++v) {
+    for (const VertexId u : graph.Neighbors(v)) {
+      uf.Union(v, u);
+    }
+  }
+  // Densify root ids to [0, num_components).
+  component_.assign(n, 0);
+  std::vector<uint32_t> dense(n, UINT32_MAX);
+  for (VertexId v = 0; v < n; ++v) {
+    const uint32_t root = uf.Find(v);
+    if (dense[root] == UINT32_MAX) {
+      dense[root] = num_components_++;
+      sizes_.push_back(0);
+    }
+    component_[v] = dense[root];
+    ++sizes_[dense[root]];
+  }
+}
+
+uint32_t ConnectedComponents::LargestComponent() const {
+  LIGHTRW_CHECK(!sizes_.empty());
+  return static_cast<uint32_t>(
+      std::max_element(sizes_.begin(), sizes_.end()) - sizes_.begin());
+}
+
+double ConnectedComponents::LargestComponentShare() const {
+  if (component_.empty()) {
+    return 0.0;
+  }
+  return static_cast<double>(sizes_[LargestComponent()]) /
+         static_cast<double>(component_.size());
+}
+
+}  // namespace lightrw::graph

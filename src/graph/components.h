@@ -1,0 +1,48 @@
+// Weakly-connected components via union-find. Used to reason about walk
+// reachability: a walk corpus can only ever cover the component(s) its
+// start vertices live in, so coverage checks and partition diagnostics
+// need component structure.
+
+#ifndef LIGHTRW_GRAPH_COMPONENTS_H_
+#define LIGHTRW_GRAPH_COMPONENTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.h"
+
+namespace lightrw::graph {
+
+// The weakly-connected components of a graph (edge direction ignored).
+class ConnectedComponents {
+ public:
+  // O(|V| + |E| alpha) union-find pass.
+  explicit ConnectedComponents(const CsrGraph& graph);
+
+  uint32_t num_components() const { return num_components_; }
+
+  // Dense component id of v, in [0, num_components).
+  uint32_t ComponentOf(VertexId v) const { return component_[v]; }
+
+  // Vertices per component.
+  const std::vector<uint32_t>& sizes() const { return sizes_; }
+
+  // Id of the largest component.
+  uint32_t LargestComponent() const;
+
+  // Fraction of vertices in the largest component.
+  double LargestComponentShare() const;
+
+  bool SameComponent(VertexId u, VertexId v) const {
+    return component_[u] == component_[v];
+  }
+
+ private:
+  std::vector<uint32_t> component_;
+  std::vector<uint32_t> sizes_;
+  uint32_t num_components_ = 0;
+};
+
+}  // namespace lightrw::graph
+
+#endif  // LIGHTRW_GRAPH_COMPONENTS_H_

@@ -1,0 +1,32 @@
+#include "graph/csr.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace lightrw::graph {
+
+bool CsrGraph::HasEdge(VertexId u, VertexId v) const {
+  const auto neighbors = Neighbors(u);
+  return std::binary_search(neighbors.begin(), neighbors.end(), v);
+}
+
+VertexId CsrGraph::CountNonIsolatedVertices() const {
+  VertexId count = 0;
+  for (VertexId v = 0; v < num_vertices(); ++v) {
+    if (Degree(v) > 0) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::string CsrGraph::Summary() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "|V|=%u |E|=%llu davg=%.1f dmax=%u",
+                num_vertices(),
+                static_cast<unsigned long long>(num_edges()),
+                AverageDegree(), max_degree_);
+  return buf;
+}
+
+}  // namespace lightrw::graph

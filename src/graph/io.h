@@ -1,0 +1,35 @@
+// Graph serialization: whitespace-separated edge-list text files and a
+// compact binary CSR format for fast reload.
+
+#ifndef LIGHTRW_GRAPH_IO_H_
+#define LIGHTRW_GRAPH_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "graph/csr.h"
+
+namespace lightrw::graph {
+
+// Reads an edge list. Each non-comment line is
+//   src dst [weight [relation]]
+// Lines starting with '#' or '%' are skipped. Vertex ids are dense
+// non-negative integers; the vertex count is max id + 1.
+StatusOr<CsrGraph> ReadEdgeList(const std::string& path, bool undirected);
+
+// Writes "src dst weight relation" lines for every directed edge.
+Status WriteEdgeList(const CsrGraph& graph, const std::string& path);
+
+// Binary CSR round-trip. The format is versioned and checked on load.
+Status WriteBinary(const CsrGraph& graph, const std::string& path);
+StatusOr<CsrGraph> ReadBinary(const std::string& path);
+
+// Reads a MatrixMarket coordinate file (the SuiteSparse / snap.stanford
+// distribution format). Supports the `general` and `symmetric` pattern /
+// integer / real qualifiers; `symmetric` entries are mirrored. Vertex ids
+// are converted from MatrixMarket's 1-based convention.
+StatusOr<CsrGraph> ReadMatrixMarket(const std::string& path);
+
+}  // namespace lightrw::graph
+
+#endif  // LIGHTRW_GRAPH_IO_H_

@@ -1,0 +1,50 @@
+// Core graph value types shared across the library.
+
+#ifndef LIGHTRW_GRAPH_TYPES_H_
+#define LIGHTRW_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace lightrw::graph {
+
+// Vertex identifier. 32 bits covers every graph in the paper (largest is
+// uk-2002 with 18.5M vertices) and matches the FPGA word width.
+using VertexId = uint32_t;
+
+// Index into the CSR col_index array.
+using EdgeIndex = uint64_t;
+
+// Integer sampling weight. The paper's samplers operate on unnormalized
+// integer weights (the Eq. (8) comparison multiplies a weight by 2^32), so
+// weights are 32-bit unsigned integers throughout.
+using Weight = uint32_t;
+
+// Vertex label, used by MetaPath to type vertices (author/paper/venue...).
+using Label = uint8_t;
+
+// Edge relation, used by MetaPath to type edges.
+using Relation = uint8_t;
+
+inline constexpr VertexId kInvalidVertex =
+    std::numeric_limits<VertexId>::max();
+
+// An edge as supplied to GraphBuilder.
+struct EdgeInput {
+  VertexId src = 0;
+  VertexId dst = 0;
+  Weight weight = 1;
+  Relation relation = 0;
+};
+
+// Bytes occupied by one col_index entry in the modeled FPGA memory layout:
+// destination vertex (4 B) packed with weight/relation (4 B). All DRAM
+// traffic accounting in the simulator uses this figure.
+inline constexpr uint64_t kBytesPerEdgeRecord = 8;
+
+// Bytes occupied by one row_index entry ({neighbor address, degree} pair).
+inline constexpr uint64_t kBytesPerRowRecord = 8;
+
+}  // namespace lightrw::graph
+
+#endif  // LIGHTRW_GRAPH_TYPES_H_

@@ -1,0 +1,57 @@
+#include "hwsim/dram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lightrw::hwsim {
+
+DramChannel::DramChannel(const DramConfig& config) : config_(config) {
+  LIGHTRW_CHECK(config.bus_bytes >= 1);
+  LIGHTRW_CHECK(config.issue_gap_cycles >= 1);
+  LIGHTRW_CHECK(config.efficiency > 0.0 && config.efficiency <= 1.0);
+  LIGHTRW_CHECK(config.clock_hz > 0.0);
+  LIGHTRW_CHECK(config.num_banks >= 1);
+  bank_busy_.assign(config.num_banks, 0);
+}
+
+Cycle DramChannel::RequestOccupancy(uint32_t burst_beats) const {
+  LIGHTRW_CHECK(burst_beats >= 1);
+  // A request occupies the channel for its data beats (derated by the
+  // steady-state efficiency) but never less than the issue gap.
+  const double beat_cycles =
+      static_cast<double>(burst_beats) / config_.efficiency;
+  const double occupancy =
+      std::max<double>(beat_cycles, config_.issue_gap_cycles);
+  return static_cast<Cycle>(std::llround(std::ceil(occupancy)));
+}
+
+Cycle DramChannel::Access(Cycle ready, uint32_t burst_beats) {
+  LIGHTRW_CHECK(burst_beats >= 1);
+  // Command issue occupies the least-loaded bank for one issue gap; the
+  // data transfer then occupies the shared bus for the burst's beats.
+  auto bank = std::min_element(bank_busy_.begin(), bank_busy_.end());
+  const Cycle issue_start = std::max(ready, *bank);
+  const Cycle issue_done = issue_start + config_.issue_gap_cycles;
+  *bank = issue_done;
+
+  const Cycle transfer_cycles = static_cast<Cycle>(std::llround(
+      std::ceil(static_cast<double>(burst_beats) / config_.efficiency)));
+  const Cycle transfer_start = std::max(issue_done, bus_busy_);
+  bus_busy_ = transfer_start + transfer_cycles;
+
+  ++stats_.requests;
+  stats_.beats += burst_beats;
+  stats_.bytes += static_cast<uint64_t>(burst_beats) * config_.bus_bytes;
+  stats_.busy_cycles += transfer_cycles;
+  // Data is fully delivered one pipelined latency after the transfer.
+  return bus_busy_ + config_.access_latency_cycles;
+}
+
+double DramChannel::SteadyStateBandwidth(uint32_t burst_beats) const {
+  const Cycle occupancy = RequestOccupancy(burst_beats);
+  const double bytes =
+      static_cast<double>(burst_beats) * config_.bus_bytes;
+  return bytes / static_cast<double>(occupancy) * config_.clock_hz;
+}
+
+}  // namespace lightrw::hwsim

@@ -1,0 +1,67 @@
+// Bounded FIFO channel, the inter-stage communication primitive of the
+// modeled accelerator (hardware stages are connected by HLS streams).
+// Used by the WRS sampler micro-simulation and module tests.
+
+#ifndef LIGHTRW_HWSIM_FIFO_H_
+#define LIGHTRW_HWSIM_FIFO_H_
+
+#include <cstddef>
+#include <deque>
+
+#include "common/check.h"
+
+namespace lightrw::hwsim {
+
+// Single-producer single-consumer bounded queue with occupancy tracking.
+// Push on a full FIFO and pop on an empty FIFO are programming errors
+// (hardware would stall instead; callers model the stall by checking
+// CanPush/CanPop first).
+template <typename T>
+class Fifo {
+ public:
+  explicit Fifo(size_t capacity) : capacity_(capacity) {
+    LIGHTRW_CHECK(capacity >= 1);
+  }
+
+  bool CanPush() const { return items_.size() < capacity_; }
+  bool CanPop() const { return !items_.empty(); }
+  bool empty() const { return items_.empty(); }
+  bool full() const { return items_.size() == capacity_; }
+  size_t size() const { return items_.size(); }
+  size_t capacity() const { return capacity_; }
+
+  void Push(T item) {
+    LIGHTRW_CHECK(CanPush());
+    items_.push_back(std::move(item));
+    ++total_pushed_;
+    if (items_.size() > max_occupancy_) {
+      max_occupancy_ = items_.size();
+    }
+  }
+
+  T Pop() {
+    LIGHTRW_CHECK(CanPop());
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  const T& Front() const {
+    LIGHTRW_CHECK(CanPop());
+    return items_.front();
+  }
+
+  // Lifetime statistics, useful for sizing buffers in tests.
+  size_t total_pushed() const { return total_pushed_; }
+  size_t max_occupancy() const { return max_occupancy_; }
+
+ private:
+  size_t capacity_;
+  std::deque<T> items_;
+  size_t total_pushed_ = 0;
+  size_t max_occupancy_ = 0;
+};
+
+}  // namespace lightrw::hwsim
+
+#endif  // LIGHTRW_HWSIM_FIFO_H_

@@ -1,0 +1,69 @@
+// Point-to-point network link timing model, used by the distributed
+// LightRW simulation (the paper's future-work InfiniBand/100G-Ethernet
+// deployment). Same accounting style as DramChannel: a message occupies
+// the link's serializer for its wire time and arrives one propagation
+// latency later.
+
+#ifndef LIGHTRW_HWSIM_LINK_H_
+#define LIGHTRW_HWSIM_LINK_H_
+
+#include <cstdint>
+
+#include "common/bits.h"
+#include "common/check.h"
+#include "hwsim/dram.h"
+
+namespace lightrw::hwsim {
+
+struct LinkConfig {
+  // Wire bandwidth in bytes per kernel cycle. 100 Gb/s at a 300 MHz
+  // kernel clock is ~41.7 B/cycle.
+  double bytes_per_cycle = 41.7;
+  // One-way latency in cycles (NIC + switch + propagation; ~2 us at
+  // 300 MHz is 600 cycles).
+  uint32_t latency_cycles = 600;
+  // Fixed per-message serialization overhead in bytes (headers).
+  uint32_t header_bytes = 32;
+};
+
+struct LinkStats {
+  uint64_t messages = 0;
+  uint64_t payload_bytes = 0;
+  Cycle busy_cycles = 0;
+};
+
+// One directional link (a board's egress port). Deterministic accounting.
+class NetworkLink {
+ public:
+  explicit NetworkLink(const LinkConfig& config) : config_(config) {
+    LIGHTRW_CHECK(config.bytes_per_cycle > 0.0);
+  }
+
+  // Sends a message of `payload_bytes` at time >= ready; returns the
+  // arrival cycle at the destination.
+  Cycle Send(Cycle ready, uint32_t payload_bytes) {
+    const Cycle start = ready > busy_until_ ? ready : busy_until_;
+    const double wire_bytes =
+        static_cast<double>(payload_bytes) + config_.header_bytes;
+    const Cycle occupancy = static_cast<Cycle>(
+        CeilDiv(static_cast<uint64_t>(wire_bytes * 1024.0),
+                static_cast<uint64_t>(config_.bytes_per_cycle * 1024.0)));
+    busy_until_ = start + (occupancy == 0 ? 1 : occupancy);
+    ++stats_.messages;
+    stats_.payload_bytes += payload_bytes;
+    stats_.busy_cycles += busy_until_ - start;
+    return busy_until_ + config_.latency_cycles;
+  }
+
+  const LinkStats& stats() const { return stats_; }
+  Cycle busy_until() const { return busy_until_; }
+
+ private:
+  LinkConfig config_;
+  Cycle busy_until_ = 0;
+  LinkStats stats_;
+};
+
+}  // namespace lightrw::hwsim
+
+#endif  // LIGHTRW_HWSIM_LINK_H_

@@ -1,0 +1,373 @@
+#include "lightrw/cycle_engine.h"
+
+#include <algorithm>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "common/bits.h"
+#include "common/check.h"
+#include "lightrw/step_sampler.h"
+#include "rng/rng.h"
+#include "sampling/sampler.h"
+
+namespace lightrw::core {
+
+namespace {
+
+using apps::WalkState;
+using graph::VertexId;
+using hwsim::Cycle;
+
+// One LightRW instance bound to one DRAM channel (paper Fig. 9).
+class Instance {
+ public:
+  Instance(const graph::CsrGraph* graph, const apps::WalkApp* app,
+           const AcceleratorConfig& config, uint64_t seed)
+      : graph_(graph),
+        app_(app),
+        config_(config),
+        channel_(config.dram),
+        burst_(&channel_, config.burst),
+        cache_(MakeVertexCache(config.cache_kind, config.cache_entries)),
+        rng_(config.sampler_parallelism, seed),
+        sampler_(config.sampler_parallelism, &rng_),
+        stop_gen_(seed ^ 0x5709ULL) {}
+
+  // Simulates this instance's query share; accumulates into `stats` (all
+  // fields except the makespan fields, which the caller derives).
+  // `global_indices[i]` is the position of queries[i] in the caller's
+  // query list; finished paths are stored there in `finished` (if
+  // non-null) so the merged output is input-ordered.
+  Cycle Run(std::span<const WalkQuery> queries,
+            std::span<const size_t> global_indices,
+            std::vector<std::vector<VertexId>>* finished,
+            AccelRunStats* stats);
+
+ private:
+  // Each walk step flows through two scheduled phases so that the two
+  // DRAM request groups of a step (row_index lookups, then the adjacency
+  // fetch once the address is known) are issued at their proper simulated
+  // times and interleave fairly with other in-flight walks.
+  enum class Phase {
+    kInfo,   // row_index lookup(s) through the cache
+    kFetch,  // adjacency burst fetch + weight update + sampling
+  };
+
+  struct Slot {
+    WalkState state;
+    size_t query_seq = 0;  // index into this instance's query share
+    uint32_t remaining = 0;
+    Cycle start = 0;  // for latency accounting
+    Phase phase = Phase::kInfo;
+    std::vector<VertexId> path;
+    bool active = false;
+  };
+
+  // Timing of the row_index lookup through the configured cache.
+  Cycle LookupNeighborInfo(Cycle t, VertexId v);
+
+  // The two step phases; see Phase.
+  Cycle InfoPhase(Slot* slot, Cycle t);
+  Cycle FetchPhase(Slot* slot, Cycle t, VertexId* next,
+                   AccelRunStats* stats);
+
+  const graph::CsrGraph* graph_;
+  const apps::WalkApp* app_;
+  const AcceleratorConfig& config_;
+  hwsim::DramChannel channel_;
+  DynamicBurstEngine burst_;
+  std::unique_ptr<VertexCache> cache_;
+  rng::ThunderingRng rng_;
+  StepSampler sampler_;
+  rng::Xoshiro256StarStar stop_gen_;
+  // The weight-updater/WRS pipeline is a single k-wide unit per instance:
+  // concurrent steps serialize through it.
+  Cycle sampler_busy_ = 0;
+};
+
+Cycle Instance::LookupNeighborInfo(Cycle t, VertexId v) {
+  if (cache_ != nullptr) {
+    if (cache_->Probe(v)) {
+      return t + 1;  // on-chip hit: single-cycle response (Fig. 5 step c)
+    }
+    const Cycle done = channel_.Access(t, /*burst_beats=*/1);
+    channel_.ReportUseful(graph::kBytesPerRowRecord);
+    cache_->Install(v, graph_->Degree(v));
+    return done;
+  }
+  const Cycle done = channel_.Access(t, /*burst_beats=*/1);
+  channel_.ReportUseful(graph::kBytesPerRowRecord);
+  return done;
+}
+
+// Phase kInfo: issues the row_index lookup(s) at time `t`; returns when
+// the {address, degree} data is available.
+Cycle Instance::InfoPhase(Slot* slot, Cycle t) {
+  const WalkState& state = slot->state;
+  // Neighbor Info Loader: row_index lookup (possibly cached). Node2Vec-
+  // style apps also look up the previous vertex's row entry for the
+  // membership structure (the paper's "Node2Vec has more memory accesses
+  // on the row_index array"); the two loaders issue concurrently.
+  Cycle t_info = LookupNeighborInfo(t, state.curr);
+  if (app_->needs_prev_neighbors() &&
+      state.prev != graph::kInvalidVertex) {
+    t_info = std::max(t_info, LookupNeighborInfo(t, state.prev));
+  }
+  return t_info;
+}
+
+// Phase kFetch: streams the adjacency through the burst engine, weight
+// updater, and sampler starting at `t`; returns the step-complete cycle
+// and the sampled vertex in *next.
+Cycle Instance::FetchPhase(Slot* slot, Cycle t, VertexId* next,
+                           AccelRunStats* stats) {
+  const WalkState& state = slot->state;
+  const uint32_t degree = graph_->Degree(state.curr);
+  const uint32_t k = config_.sampler_parallelism;
+
+  // Re-fetch N(prev) when it exceeded the on-chip membership buffer.
+  Cycle t_fetch = t;
+  if (app_->needs_prev_neighbors() &&
+      state.prev != graph::kInvalidVertex) {
+    const uint32_t prev_degree = graph_->Degree(state.prev);
+    if (prev_degree > config_.prev_neighbor_buffer_edges) {
+      t_fetch = burst_.Fetch(
+          t_fetch, static_cast<uint64_t>(prev_degree) *
+                       graph::kBytesPerEdgeRecord);
+      ++stats->prev_refetches;
+    }
+  }
+
+  // Dynamic burst engine streams the adjacency list.
+  const uint64_t bytes =
+      static_cast<uint64_t>(degree) * graph::kBytesPerEdgeRecord;
+  const Cycle last_data = burst_.Fetch(t_fetch, bytes);
+  stats->edges_examined += degree;
+
+  // Weight Updater + WRS Sampler.
+  Cycle step_end;
+  if (config_.enable_wrs_pipeline) {
+    // Fine-grained pipeline: the sampler consumes k edges per cycle as
+    // data streams in. It is one shared k-wide unit, so concurrent steps
+    // queue for it; the step completes when the slower of memory and
+    // sampler is done.
+    const Cycle first_data = t_fetch + config_.dram.access_latency_cycles;
+    const Cycle consume_start = std::max(first_data, sampler_busy_);
+    sampler_busy_ = consume_start + CeilDiv(degree, k);
+    step_end = std::max(last_data, sampler_busy_);
+  } else {
+    // Staged ThunderRW-style flow on chip (the WRS-disabled ablation):
+    // each stage runs to completion and the intermediate weight buffer
+    // and sampling table round-trip through DRAM (Inefficiency 1).
+    //
+    // The stage chain is serial *within* the step, but other in-flight
+    // walks still overlap with it, so the extra channel occupancy is
+    // booked at the step's start (for contention) while the stages'
+    // serial latency accumulates analytically.
+    const uint32_t bus = config_.dram.bus_bytes;
+    const uint64_t weight_bytes = static_cast<uint64_t>(degree) * 4;
+    const uint64_t table_bytes = static_cast<uint64_t>(degree) * 8;
+    const uint32_t weight_beats =
+        static_cast<uint32_t>(CeilDiv(weight_bytes, bus));
+    const uint32_t table_beats =
+        static_cast<uint32_t>(CeilDiv(table_bytes, bus));
+    const uint32_t probes = CeilLog2(static_cast<uint64_t>(degree) + 1);
+
+    Cycle booked = t_fetch;
+    booked = std::max(booked, channel_.Access(t_fetch, weight_beats));
+    booked = std::max(booked, channel_.Access(t_fetch, weight_beats));
+    booked = std::max(booked, channel_.Access(t_fetch, table_beats));
+    for (uint32_t i = 0; i < probes; ++i) {
+      booked = std::max(booked, channel_.Access(t_fetch, 1));
+    }
+
+    const auto transfer_latency = [&](uint32_t beats) {
+      return channel_.RequestOccupancy(beats) +
+             config_.dram.access_latency_cycles;
+    };
+    // weight compute + buffer write/read + table build + table write +
+    // binary-search probes, end to end.
+    const Cycle serial = last_data + degree +
+                         transfer_latency(weight_beats) +
+                         transfer_latency(weight_beats) + degree +
+                         transfer_latency(table_beats) +
+                         static_cast<Cycle>(probes) * transfer_latency(1);
+    step_end = std::max(serial, booked);
+  }
+  step_end += config_.pipeline_depth_cycles;
+
+  // Functional sampling (identical distribution to the hardware).
+  *next = sampler_.SampleNext(*graph_, *app_, state);
+  return step_end;
+}
+
+Cycle Instance::Run(std::span<const WalkQuery> queries,
+                    std::span<const size_t> global_indices,
+                    std::vector<std::vector<VertexId>>* finished,
+                    AccelRunStats* stats) {
+  if (queries.empty()) {
+    return 0;
+  }
+  const size_t num_slots =
+      std::min<size_t>(std::max<uint32_t>(config_.inflight_queries, 1),
+                       queries.size());
+  std::vector<Slot> slots(num_slots);
+  size_t next_query = 0;
+  Cycle makespan = 0;
+
+  // Min-heap of (ready cycle, slot index): FCFS channel arbitration.
+  using HeapItem = std::pair<Cycle, size_t>;
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
+
+  auto load = [&](size_t slot_index, Cycle at) {
+    if (next_query >= queries.size()) {
+      return;
+    }
+    Slot& slot = slots[slot_index];
+    const WalkQuery& q = queries[next_query];
+    slot.query_seq = next_query++;
+    slot.state = WalkState{};
+    slot.state.curr = q.start;
+    slot.remaining = q.length;
+    slot.start = at;
+    slot.phase = Phase::kInfo;
+    slot.path.clear();
+    slot.path.push_back(q.start);
+    slot.active = true;
+    heap.emplace(at, slot_index);
+  };
+
+  auto retire = [&](size_t slot_index, Cycle at) {
+    Slot& slot = slots[slot_index];
+    if (config_.collect_latency) {
+      stats->query_latency_cycles.Add(static_cast<double>(at - slot.start));
+    }
+    if (finished != nullptr) {
+      (*finished)[global_indices[slot.query_seq]] = std::move(slot.path);
+    }
+    ++stats->queries;
+    slot.active = false;
+    makespan = std::max(makespan, at);
+    load(slot_index, at);
+  };
+
+  for (size_t i = 0; i < num_slots; ++i) {
+    load(i, 0);
+  }
+
+  while (!heap.empty()) {
+    const auto [now, slot_index] = heap.top();
+    heap.pop();
+    Slot& slot = slots[slot_index];
+    LIGHTRW_DCHECK(slot.active);
+
+    if (slot.phase == Phase::kInfo) {
+      if (slot.state.step >= slot.remaining) {  // zero-length query
+        retire(slot_index, now);
+        continue;
+      }
+      const Cycle t_info = InfoPhase(&slot, now);
+      if (graph_->Degree(slot.state.curr) == 0) {  // dead end
+        retire(slot_index, t_info + config_.pipeline_depth_cycles);
+        continue;
+      }
+      slot.phase = Phase::kFetch;
+      heap.emplace(t_info, slot_index);
+      continue;
+    }
+
+    // Phase::kFetch.
+    VertexId next = graph::kInvalidVertex;
+    const Cycle done = FetchPhase(&slot, now, &next, stats);
+    slot.phase = Phase::kInfo;
+    if (next == graph::kInvalidVertex) {  // all weights zero
+      retire(slot_index, done);
+      continue;
+    }
+    slot.state.prev = slot.state.curr;
+    slot.state.curr = next;
+    ++slot.state.step;
+    ++stats->steps;
+    slot.path.push_back(next);
+    const double stop_probability = app_->stop_probability();
+    const bool stopped =
+        stop_probability > 0.0 && stop_gen_.NextUnit() < stop_probability;
+    if (stopped || slot.state.step >= slot.remaining) {
+      retire(slot_index, done);
+    } else {
+      heap.emplace(done, slot_index);
+    }
+  }
+
+  // Fold in this instance's module statistics.
+  stats->dram.requests += channel_.stats().requests;
+  stats->dram.beats += channel_.stats().beats;
+  stats->dram.bytes += channel_.stats().bytes;
+  stats->dram.busy_cycles += channel_.stats().busy_cycles;
+  stats->dram.useful_bytes += channel_.stats().useful_bytes;
+  if (cache_ != nullptr) {
+    stats->cache.hits += cache_->stats().hits;
+    stats->cache.misses += cache_->stats().misses;
+  }
+  stats->burst.requests += burst_.stats().requests;
+  stats->burst.long_bursts += burst_.stats().long_bursts;
+  stats->burst.short_bursts += burst_.stats().short_bursts;
+  stats->burst.requested_bytes += burst_.stats().requested_bytes;
+  stats->burst.loaded_bytes += burst_.stats().loaded_bytes;
+  return makespan;
+}
+
+}  // namespace
+
+CycleEngine::CycleEngine(const graph::CsrGraph* graph,
+                         const apps::WalkApp* app,
+                         const AcceleratorConfig& config)
+    : graph_(graph), app_(app), config_(config) {
+  LIGHTRW_CHECK(graph != nullptr);
+  LIGHTRW_CHECK(app != nullptr);
+  LIGHTRW_CHECK(config.sampler_parallelism >= 1);
+  LIGHTRW_CHECK(config.num_instances >= 1);
+}
+
+AccelRunStats CycleEngine::Run(std::span<const WalkQuery> queries,
+                               WalkOutput* output) {
+  AccelRunStats stats;
+  const uint32_t n = config_.num_instances;
+
+  // Round-robin query distribution across instances (paper §6.1.5:
+  // "we evenly distribute random walk queries to all instances").
+  std::vector<std::vector<WalkQuery>> shares(n);
+  std::vector<std::vector<size_t>> share_indices(n);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    shares[i % n].push_back(queries[i]);
+    share_indices[i % n].push_back(i);
+  }
+
+  std::vector<std::vector<VertexId>> finished;
+  if (output != nullptr) {
+    finished.resize(queries.size());
+  }
+  Cycle makespan = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    Instance instance(graph_, app_, config_,
+                      config_.seed + 0x1000003ULL * i);
+    const Cycle end =
+        instance.Run(shares[i], share_indices[i],
+                     output != nullptr ? &finished : nullptr, &stats);
+    makespan = std::max(makespan, end);
+  }
+  if (output != nullptr) {
+    for (auto& path : finished) {
+      output->vertices.insert(output->vertices.end(), path.begin(),
+                              path.end());
+      output->offsets.push_back(
+          static_cast<uint32_t>(output->vertices.size()));
+    }
+  }
+  stats.cycles = makespan;
+  stats.seconds = static_cast<double>(makespan) / config_.dram.clock_hz;
+  return stats;
+}
+
+}  // namespace lightrw::core

@@ -1,0 +1,59 @@
+#include "lightrw/functional_engine.h"
+
+#include "common/check.h"
+#include "lightrw/step_sampler.h"
+#include "rng/rng.h"
+
+namespace lightrw::core {
+
+FunctionalEngine::FunctionalEngine(const graph::CsrGraph* graph,
+                                   const apps::WalkApp* app,
+                                   const AcceleratorConfig& config)
+    : graph_(graph), app_(app), config_(config) {
+  LIGHTRW_CHECK(graph != nullptr);
+  LIGHTRW_CHECK(app != nullptr);
+  LIGHTRW_CHECK(config.sampler_parallelism >= 1);
+}
+
+FunctionalRunStats FunctionalEngine::Run(std::span<const WalkQuery> queries,
+                                         WalkOutput* output) {
+  FunctionalRunStats stats;
+  rng::ThunderingRng rng(config_.sampler_parallelism, config_.seed);
+  StepSampler sampler(config_.sampler_parallelism, &rng);
+  rng::Xoshiro256StarStar stop_gen(config_.seed ^ 0x5709ULL);
+  const double stop_probability = app_->stop_probability();
+
+  for (const WalkQuery& query : queries) {
+    apps::WalkState state;
+    state.curr = query.start;
+    if (output != nullptr) {
+      output->vertices.push_back(query.start);
+    }
+    for (uint32_t step = 0; step < query.length; ++step) {
+      state.step = step;
+      stats.edges_examined += graph_->Degree(state.curr);
+      const graph::VertexId next = sampler.SampleNext(*graph_, *app_, state);
+      if (next == graph::kInvalidVertex) {
+        break;
+      }
+      state.prev = state.curr;
+      state.curr = next;
+      ++stats.steps;
+      if (output != nullptr) {
+        output->vertices.push_back(next);
+      }
+      if (stop_probability > 0.0 &&
+          stop_gen.NextUnit() < stop_probability) {
+        break;  // geometric termination (PPR-style apps)
+      }
+    }
+    if (output != nullptr) {
+      output->offsets.push_back(
+          static_cast<uint32_t>(output->vertices.size()));
+    }
+    ++stats.queries;
+  }
+  return stats;
+}
+
+}  // namespace lightrw::core

@@ -1,0 +1,52 @@
+// Functional (untimed) LightRW engine.
+//
+// Executes Algorithm 3.1 exactly — per step, stream all neighbors through
+// the weight updater and the k-lane parallel WRS sampler — but without the
+// timing model, so it runs fast and deterministically. Used for sampling-
+// correctness tests, the examples, and the link-prediction case study; the
+// CycleEngine (cycle_engine.h) adds the performance model on top of the
+// same sampling semantics.
+
+#ifndef LIGHTRW_LIGHTRW_FUNCTIONAL_ENGINE_H_
+#define LIGHTRW_LIGHTRW_FUNCTIONAL_ENGINE_H_
+
+#include <cstdint>
+#include <span>
+
+#include "apps/walk_app.h"
+#include "baseline/engine.h"
+#include "graph/csr.h"
+#include "lightrw/config.h"
+
+namespace lightrw::core {
+
+using apps::WalkQuery;
+using baseline::WalkOutput;
+
+struct FunctionalRunStats {
+  uint64_t queries = 0;
+  uint64_t steps = 0;
+  uint64_t edges_examined = 0;
+};
+
+// Deterministic walk generator with LightRW's sampling semantics.
+class FunctionalEngine {
+ public:
+  // `graph` and `app` must outlive the engine. Only sampler_parallelism
+  // and seed of the config are used.
+  FunctionalEngine(const graph::CsrGraph* graph, const apps::WalkApp* app,
+                   const AcceleratorConfig& config);
+
+  // Runs all queries in order, appending paths to `output` if non-null.
+  FunctionalRunStats Run(std::span<const WalkQuery> queries,
+                         WalkOutput* output = nullptr);
+
+ private:
+  const graph::CsrGraph* graph_;
+  const apps::WalkApp* app_;
+  AcceleratorConfig config_;
+};
+
+}  // namespace lightrw::core
+
+#endif  // LIGHTRW_LIGHTRW_FUNCTIONAL_ENGINE_H_

@@ -1,0 +1,36 @@
+// Human-readable run reports: formats AccelRunStats together with the
+// platform models into the summary an operator would want after a run
+// (throughput, memory behaviour, modeled power/PCIe/resources). Used by
+// the walk_tool --report flag.
+
+#ifndef LIGHTRW_LIGHTRW_REPORT_H_
+#define LIGHTRW_LIGHTRW_REPORT_H_
+
+#include <string>
+
+#include "graph/csr.h"
+#include "lightrw/config.h"
+#include "lightrw/cycle_engine.h"
+#include "lightrw/platform_models.h"
+
+namespace lightrw::core {
+
+// Everything needed to render a report for one simulated run.
+struct RunReportInputs {
+  const graph::CsrGraph* graph = nullptr;
+  const AcceleratorConfig* config = nullptr;
+  const AccelRunStats* stats = nullptr;
+  // Application properties.
+  std::string app_name;
+  bool needs_prev_neighbors = false;
+  // Workload shape (for the PCIe model).
+  uint64_t num_queries = 0;
+  uint32_t query_length = 0;
+};
+
+// Renders a multi-line report. All inputs must be non-null.
+std::string FormatRunReport(const RunReportInputs& inputs);
+
+}  // namespace lightrw::core
+
+#endif  // LIGHTRW_LIGHTRW_REPORT_H_

@@ -1,0 +1,39 @@
+#include "lightrw/step_sampler.h"
+
+#include <algorithm>
+
+#include "sampling/sampler.h"
+
+namespace lightrw::core {
+
+StepSampler::StepSampler(size_t parallelism, rng::ThunderingRng* rng)
+    : pwrs_(parallelism, rng), batch_(parallelism) {}
+
+VertexId StepSampler::SampleNext(const CsrGraph& graph, const WalkApp& app,
+                                 const WalkState& state) {
+  const uint32_t degree = graph.Degree(state.curr);
+  if (degree == 0) {
+    return graph::kInvalidVertex;
+  }
+  const auto neighbors = graph.Neighbors(state.curr);
+  const auto static_weights = graph.NeighborWeights(state.curr);
+  const auto relations = graph.NeighborRelations(state.curr);
+  const size_t k = batch_.size();
+
+  pwrs_.Reset();
+  for (uint32_t offset = 0; offset < degree; offset += k) {
+    const uint32_t n =
+        std::min<uint32_t>(static_cast<uint32_t>(k), degree - offset);
+    for (uint32_t j = 0; j < n; ++j) {
+      batch_[j] = app.DynamicWeight(graph, state, neighbors[offset + j],
+                                    static_weights[offset + j],
+                                    relations[offset + j]);
+    }
+    pwrs_.OfferBatch({batch_.data(), n}, offset);
+  }
+  const size_t picked = pwrs_.selected();
+  return picked == sampling::kNoSample ? graph::kInvalidVertex
+                                       : neighbors[picked];
+}
+
+}  // namespace lightrw::core

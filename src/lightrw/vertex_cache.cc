@@ -1,0 +1,131 @@
+#include "lightrw/vertex_cache.h"
+
+#include "common/bits.h"
+#include "common/check.h"
+
+namespace lightrw::core {
+
+namespace {
+
+uint32_t ValidateEntries(uint32_t entries) {
+  LIGHTRW_CHECK(entries >= 1);
+  LIGHTRW_CHECK(IsPowerOfTwo(entries));
+  return entries;
+}
+
+}  // namespace
+
+DirectMappedCache::DirectMappedCache(uint32_t entries)
+    : entries_(ValidateEntries(entries)),
+      tag_(entries, 0),
+      valid_(entries, false) {}
+
+bool DirectMappedCache::Probe(VertexId v) {
+  const uint32_t set = v & (entries_ - 1);
+  if (valid_[set] && tag_[set] == v) {
+    ++stats_.hits;
+    return true;
+  }
+  ++stats_.misses;
+  return false;
+}
+
+void DirectMappedCache::Install(VertexId v, uint32_t /*degree*/) {
+  const uint32_t set = v & (entries_ - 1);
+  valid_[set] = true;
+  tag_[set] = v;
+}
+
+DegreeAwareCache::DegreeAwareCache(uint32_t entries)
+    : entries_(ValidateEntries(entries)),
+      tag_(entries, 0),
+      degree_(entries, 0),
+      valid_(entries, false) {}
+
+bool DegreeAwareCache::Probe(VertexId v) {
+  const uint32_t set = v & (entries_ - 1);
+  if (valid_[set] && tag_[set] == v) {
+    ++stats_.hits;
+    return true;
+  }
+  ++stats_.misses;
+  return false;
+}
+
+void DegreeAwareCache::Install(VertexId v, uint32_t degree) {
+  const uint32_t set = v & (entries_ - 1);
+  // Replace only if the incoming vertex is hotter (higher degree) than the
+  // resident one — Fig. 5 step (e).
+  if (valid_[set] && degree_[set] >= degree && tag_[set] != v) {
+    return;
+  }
+  valid_[set] = true;
+  tag_[set] = v;
+  degree_[set] = degree;
+}
+
+SetAssociativeCache::SetAssociativeCache(uint32_t entries, uint32_t ways,
+                                         Replacement replacement)
+    : entries_(ValidateEntries(entries)),
+      ways_(ways),
+      replacement_(replacement) {
+  LIGHTRW_CHECK(IsPowerOfTwo(ways));
+  LIGHTRW_CHECK(ways >= 1 && ways <= entries);
+  num_sets_ = entries / ways;
+  lines_.assign(entries_, Line{});
+}
+
+bool SetAssociativeCache::Probe(VertexId v) {
+  const uint32_t set = v & (num_sets_ - 1);
+  Line* base = &lines_[static_cast<size_t>(set) * ways_];
+  for (uint32_t w = 0; w < ways_; ++w) {
+    if (base[w].valid && base[w].tag == v) {
+      if (replacement_ == Replacement::kLru) {
+        base[w].order = ++clock_;  // refresh recency on hit
+      }
+      ++stats_.hits;
+      return true;
+    }
+  }
+  ++stats_.misses;
+  return false;
+}
+
+void SetAssociativeCache::Install(VertexId v, uint32_t /*degree*/) {
+  const uint32_t set = v & (num_sets_ - 1);
+  Line* base = &lines_[static_cast<size_t>(set) * ways_];
+  Line* victim = base;
+  for (uint32_t w = 0; w < ways_; ++w) {
+    if (!base[w].valid) {
+      victim = &base[w];
+      break;
+    }
+    if (base[w].order < victim->order) {
+      victim = &base[w];  // oldest stamp: LRU or FIFO victim
+    }
+  }
+  victim->valid = true;
+  victim->tag = v;
+  victim->order = ++clock_;
+}
+
+std::unique_ptr<VertexCache> MakeVertexCache(CacheKind kind,
+                                             uint32_t entries) {
+  switch (kind) {
+    case CacheKind::kNone:
+      return nullptr;
+    case CacheKind::kDirectMapped:
+      return std::make_unique<DirectMappedCache>(entries);
+    case CacheKind::kDegreeAware:
+      return std::make_unique<DegreeAwareCache>(entries);
+    case CacheKind::kLru:
+      return std::make_unique<SetAssociativeCache>(
+          entries, /*ways=*/4, SetAssociativeCache::Replacement::kLru);
+    case CacheKind::kFifo:
+      return std::make_unique<SetAssociativeCache>(
+          entries, /*ways=*/4, SetAssociativeCache::Replacement::kFifo);
+  }
+  return nullptr;
+}
+
+}  // namespace lightrw::core

@@ -1,0 +1,68 @@
+// Cycle-accurate simulation of the WRS Sampler microarchitecture
+// (paper Fig. 4), with the hardware modules — Weight Accumulator,
+// Selector (PRNG + Eq. 8 comparators + max-index tree), and Output —
+// modeled as clocked units connected by bounded FIFOs with backpressure.
+//
+// This is the detailed counterpart of the analytic WrsSamplerSim
+// (wrs_sampler_sim.h): it produces the exact same sampling decisions as
+// sampling::ParallelWrsSampler (same RNG stream discipline) while
+// advancing a cycle-by-cycle clock, so tests can cross-validate the
+// analytic throughput model against a structural simulation.
+
+#ifndef LIGHTRW_LIGHTRW_WRS_PIPELINE_H_
+#define LIGHTRW_LIGHTRW_WRS_PIPELINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.h"
+#include "hwsim/dram.h"
+#include "hwsim/fifo.h"
+#include "rng/rng.h"
+
+namespace lightrw::core {
+
+struct WrsPipelineConfig {
+  // Lanes (items consumed per cycle when data is available).
+  uint32_t parallelism = 16;
+  // Items the memory feed can deliver per cycle, in 1/1024ths (the weight
+  // stream arrives from DRAM at line rate; 64 B/cycle of 4 B items at
+  // 91.5% efficiency = 14.64 items/cycle = 14993/1024).
+  uint32_t feed_items_per_kcycle = 14993;
+  // Depth of the inter-stage FIFOs (HLS stream depth).
+  uint32_t fifo_depth = 4;
+  uint64_t seed = 1;
+};
+
+struct WrsPipelineResult {
+  uint64_t items = 0;
+  uint64_t cycles = 0;
+  // Index of the sampled item (kNoSample if all weights were zero).
+  size_t selected = 0;
+  // Pipeline occupancy statistics.
+  size_t accumulator_max_occupancy = 0;
+  size_t selector_max_occupancy = 0;
+};
+
+// Runs the full weight stream through the clocked pipeline and reports the
+// selected index plus the cycle count.
+class WrsPipelineSim {
+ public:
+  explicit WrsPipelineSim(const WrsPipelineConfig& config);
+
+  WrsPipelineResult Run(std::vector<graph::Weight> weights);
+
+ private:
+  // One batch travelling between stages.
+  struct Batch {
+    std::vector<graph::Weight> weights;   // lane weights (may be short)
+    std::vector<uint64_t> inclusive_sum;  // w_sum^i + W_ps[j] per lane
+    size_t base_index = 0;
+  };
+
+  WrsPipelineConfig config_;
+};
+
+}  // namespace lightrw::core
+
+#endif  // LIGHTRW_LIGHTRW_WRS_PIPELINE_H_

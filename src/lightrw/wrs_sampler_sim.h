@@ -1,0 +1,53 @@
+// Standalone micro-simulation of the WRS Sampler module (paper §6.2).
+//
+// Models the Fig. 4 pipeline fed by pre-generated weights resident in one
+// DRAM channel, as in the paper's evaluation: weights stream in at memory
+// line rate (4 bytes per item), the k-lane sampler consumes k items per
+// cycle, and the pipeline has a fixed fill latency. Used by the Fig. 10
+// benchmarks (throughput vs. parallelism / stream length) and by tests.
+
+#ifndef LIGHTRW_LIGHTRW_WRS_SAMPLER_SIM_H_
+#define LIGHTRW_LIGHTRW_WRS_SAMPLER_SIM_H_
+
+#include <cstdint>
+
+#include "hwsim/dram.h"
+#include "lightrw/config.h"
+
+namespace lightrw::core {
+
+struct WrsSamplerSimResult {
+  uint64_t items = 0;
+  uint64_t cycles = 0;
+  double seconds = 0.0;
+  double items_per_second = 0.0;
+  // Bandwidth consumed by the weight stream (4 B per item).
+  double bytes_per_second = 0.0;
+  // Index sampled by the functional k-lane WRS (for correctness checks).
+  size_t selected = 0;
+};
+
+class WrsSamplerSim {
+ public:
+  WrsSamplerSim(uint32_t parallelism, const hwsim::DramConfig& dram,
+                uint64_t seed);
+
+  // Streams `items` uniformly random weights through the sampler.
+  WrsSamplerSimResult RunStream(uint64_t items);
+
+  // Ideal throughput of a k-lane sampler at the kernel clock (the gray
+  // dashed line of Fig. 10a).
+  double TheoreticalItemsPerSecond() const;
+
+  // Items the memory system can supply per cycle (the saturation level).
+  double MemoryItemsPerCycle() const;
+
+ private:
+  uint32_t k_;
+  hwsim::DramConfig dram_;
+  uint64_t seed_;
+};
+
+}  // namespace lightrw::core
+
+#endif  // LIGHTRW_LIGHTRW_WRS_SAMPLER_SIM_H_

@@ -1,0 +1,185 @@
+#include "rng/battery.h"
+
+#include <bit>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace lightrw::rng {
+
+namespace {
+
+BatteryTestResult FromZScore(std::string name, double z) {
+  BatteryTestResult result;
+  result.name = std::move(name);
+  result.statistic = z;
+  // Two-sided: both excesses and deficits are failures.
+  result.p_value = 2.0 * StdNormalUpperTail(std::abs(z));
+  return result;
+}
+
+BatteryTestResult FromChiSquare(std::string name,
+                                const ChiSquareResult& chi) {
+  BatteryTestResult result;
+  result.name = std::move(name);
+  result.statistic = chi.statistic;
+  result.p_value = chi.p_value;
+  return result;
+}
+
+}  // namespace
+
+BatteryTestResult MonobitTest(std::span<const uint32_t> samples) {
+  LIGHTRW_CHECK(!samples.empty());
+  uint64_t ones = 0;
+  for (const uint32_t s : samples) {
+    ones += std::popcount(s);
+  }
+  const double n_bits = 32.0 * static_cast<double>(samples.size());
+  const double z = (static_cast<double>(ones) - n_bits / 2.0) /
+                   std::sqrt(n_bits / 4.0);
+  return FromZScore("monobit", z);
+}
+
+BatteryTestResult BitBalanceTest(std::span<const uint32_t> samples) {
+  LIGHTRW_CHECK(!samples.empty());
+  std::vector<uint64_t> ones(32, 0);
+  for (const uint32_t s : samples) {
+    for (int b = 0; b < 32; ++b) {
+      ones[b] += (s >> b) & 1u;
+    }
+  }
+  // Chi-square of each bit's one-count against n/2; sum over bits has
+  // 32 degrees of freedom (approximated via ChiSquareTest on 2x32 cells).
+  std::vector<uint64_t> observed;
+  std::vector<double> expected;
+  for (int b = 0; b < 32; ++b) {
+    observed.push_back(ones[b]);
+    observed.push_back(samples.size() - ones[b]);
+    expected.push_back(samples.size() / 2.0);
+    expected.push_back(samples.size() / 2.0);
+  }
+  return FromChiSquare("bit_balance", ChiSquareTest(observed, expected));
+}
+
+BatteryTestResult RunsTest(std::span<const uint32_t> samples) {
+  LIGHTRW_CHECK(samples.size() >= 16);
+  // Runs above/below the theoretical median 2^31.
+  size_t n_above = 0;
+  for (const uint32_t s : samples) {
+    n_above += s >= 0x80000000u ? 1 : 0;
+  }
+  const size_t n_below = samples.size() - n_above;
+  uint64_t runs = 1;
+  for (size_t i = 1; i < samples.size(); ++i) {
+    const bool prev = samples[i - 1] >= 0x80000000u;
+    const bool curr = samples[i] >= 0x80000000u;
+    runs += prev != curr ? 1 : 0;
+  }
+  const double n1 = static_cast<double>(n_above);
+  const double n2 = static_cast<double>(n_below);
+  const double n = n1 + n2;
+  if (n1 == 0 || n2 == 0) {
+    BatteryTestResult result;
+    result.name = "runs";
+    result.p_value = 0.0;  // constant sequence: certain failure
+    return result;
+  }
+  const double mean = 2.0 * n1 * n2 / n + 1.0;
+  const double variance =
+      2.0 * n1 * n2 * (2.0 * n1 * n2 - n) / (n * n * (n - 1.0));
+  const double z = (static_cast<double>(runs) - mean) / std::sqrt(variance);
+  return FromZScore("runs", z);
+}
+
+BatteryTestResult PokerTest(std::span<const uint32_t> samples) {
+  LIGHTRW_CHECK(!samples.empty());
+  std::vector<uint64_t> hands(16, 0);
+  for (const uint32_t s : samples) {
+    for (int shift = 0; shift < 32; shift += 4) {
+      ++hands[(s >> shift) & 0xF];
+    }
+  }
+  const double total = 8.0 * static_cast<double>(samples.size());
+  std::vector<double> expected(16, total / 16.0);
+  return FromChiSquare("poker", ChiSquareTest(hands, expected));
+}
+
+BatteryTestResult GapTest(std::span<const uint32_t> samples) {
+  LIGHTRW_CHECK(samples.size() >= 256);
+  // Mark samples in the lowest eighth of the range; gap lengths between
+  // marks are geometric with p = 1/8. Bucket gaps 0..15 plus overflow.
+  constexpr uint32_t kBound = 0x20000000u;  // 2^32 / 8
+  constexpr double kP = 1.0 / 8.0;
+  std::vector<uint64_t> gaps(17, 0);
+  uint64_t gap = 0;
+  uint64_t marks = 0;
+  for (const uint32_t s : samples) {
+    if (s < kBound) {
+      ++gaps[gap < 16 ? gap : 16];
+      ++marks;
+      gap = 0;
+    } else {
+      ++gap;
+    }
+  }
+  if (marks < 32) {
+    BatteryTestResult result;
+    result.name = "gap";
+    result.p_value = 0.0;
+    return result;
+  }
+  std::vector<double> expected(17);
+  for (int g = 0; g < 16; ++g) {
+    // P(gap == g) = (1-p)^g * p for a geometric gap distribution.
+    expected[g] = static_cast<double>(marks) * std::pow(1.0 - kP, g) * kP;
+  }
+  expected[16] = static_cast<double>(marks) * std::pow(1.0 - kP, 16);
+  // Guard tiny expected counts.
+  for (auto& e : expected) {
+    e = std::max(e, 1e-6);
+  }
+  return FromChiSquare("gap", ChiSquareTest(gaps, expected));
+}
+
+BatteryTestResult SerialCorrelationTest(std::span<const uint32_t> samples) {
+  LIGHTRW_CHECK(samples.size() >= 16);
+  // A degenerate (constant) sequence has undefined correlation; it is
+  // certainly not random.
+  bool constant = true;
+  for (size_t i = 1; i < samples.size() && constant; ++i) {
+    constant = samples[i] == samples[0];
+  }
+  if (constant) {
+    BatteryTestResult result;
+    result.name = "serial_correlation";
+    result.p_value = 0.0;
+    return result;
+  }
+  const double corr = SerialCorrelation32(samples);
+  // Under independence, corr ~ N(0, 1/n).
+  const double z = corr * std::sqrt(static_cast<double>(samples.size()));
+  return FromZScore("serial_correlation", z);
+}
+
+BatteryResult RunBattery(const std::function<uint32_t()>& next, size_t n,
+                         double threshold) {
+  LIGHTRW_CHECK(n >= 1024);
+  std::vector<uint32_t> samples(n);
+  for (auto& s : samples) {
+    s = next();
+  }
+  BatteryResult result;
+  result.tests.push_back(MonobitTest(samples));
+  result.tests.push_back(BitBalanceTest(samples));
+  result.tests.push_back(RunsTest(samples));
+  result.tests.push_back(PokerTest(samples));
+  result.tests.push_back(GapTest(samples));
+  result.tests.push_back(SerialCorrelationTest(samples));
+  for (auto& test : result.tests) {
+    test.passed = test.p_value > threshold;
+  }
+  return result;
+}
+
+}  // namespace lightrw::rng

@@ -1,0 +1,71 @@
+// A TestU01-lite statistical battery for 32-bit generators.
+//
+// The paper validates ThundeRiNG with TestU01's stringent batteries;
+// TestU01 is not available offline, so this module implements the
+// classical small battery (frequency, runs, poker, gap, serial
+// correlation, and per-bit balance) with chi-square / normal-approximation
+// p-values. Used by tests and the RNG quality report.
+
+#ifndef LIGHTRW_RNG_BATTERY_H_
+#define LIGHTRW_RNG_BATTERY_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "rng/stat_tests.h"
+
+namespace lightrw::rng {
+
+struct BatteryTestResult {
+  std::string name;
+  double statistic = 0.0;
+  double p_value = 0.0;
+  bool passed = false;  // p_value above the configured threshold
+};
+
+struct BatteryResult {
+  std::vector<BatteryTestResult> tests;
+  bool AllPassed() const {
+    for (const auto& t : tests) {
+      if (!t.passed) {
+        return false;
+      }
+    }
+    return !tests.empty();
+  }
+};
+
+// Individual tests over a sample of 32-bit outputs. All return an
+// upper-tail p-value (small = suspicious).
+
+// Monobit/frequency: the total number of one bits is ~ N(16n, 8n).
+BatteryTestResult MonobitTest(std::span<const uint32_t> samples);
+
+// Per-bit balance: chi-square over the 32 bit positions' one-counts.
+BatteryTestResult BitBalanceTest(std::span<const uint32_t> samples);
+
+// Runs test on the sequence above/below the median.
+BatteryTestResult RunsTest(std::span<const uint32_t> samples);
+
+// Poker test: partition each word into 4-bit hands; chi-square on the
+// 16-bin histogram of all hands.
+BatteryTestResult PokerTest(std::span<const uint32_t> samples);
+
+// Gap test: lengths of gaps between samples falling in [0, 2^32/8).
+BatteryTestResult GapTest(std::span<const uint32_t> samples);
+
+// Lag-1 serial correlation, normal-approximated.
+BatteryTestResult SerialCorrelationTest(std::span<const uint32_t> samples);
+
+// Runs the whole battery on `n` draws from `next`. Tests pass when their
+// p-value exceeds `threshold` (default 1e-4, the conventional TestU01
+// "clear failure" cutoff).
+BatteryResult RunBattery(const std::function<uint32_t()>& next, size_t n,
+                         double threshold = 1e-4);
+
+}  // namespace lightrw::rng
+
+#endif  // LIGHTRW_RNG_BATTERY_H_

@@ -1,0 +1,65 @@
+#include "sampling/alias.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace lightrw::sampling {
+
+void AliasTable::Build(std::span<const Weight> weights) {
+  const size_t n = weights.size();
+  prob_.assign(n, 0);
+  alias_.assign(n, 0);
+  total_weight_ = 0;
+  for (const Weight w : weights) {
+    total_weight_ += w;
+  }
+  if (total_weight_ == 0 || n == 0) {
+    return;
+  }
+
+  // Vose's algorithm on scaled probabilities p_i = n * w_i / W.
+  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i) {
+    scaled[i] = static_cast<double>(weights[i]) * n /
+                static_cast<double>(total_weight_);
+  }
+  std::vector<uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const uint32_t s = small.back();
+    small.pop_back();
+    const uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = static_cast<uint32_t>(
+        std::min(4294967295.0, scaled[s] * 4294967296.0));
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  for (const uint32_t i : large) {
+    prob_[i] = UINT32_MAX;  // always stay
+    alias_[i] = i;
+  }
+  for (const uint32_t i : small) {
+    // Only reachable through floating-point round-off; treat as full.
+    prob_[i] = UINT32_MAX;
+    alias_[i] = i;
+  }
+}
+
+size_t AliasTable::Sample(uint64_t random_bucket, uint32_t random_coin) const {
+  if (total_weight_ == 0 || prob_.empty()) {
+    return kNoSample;
+  }
+  const size_t bucket = static_cast<size_t>(random_bucket % prob_.size());
+  // Strict comparison so zero-probability buckets (zero-weight items)
+  // always defer to their alias.
+  return random_coin < prob_[bucket] ? bucket : alias_[bucket];
+}
+
+}  // namespace lightrw::sampling

@@ -1,0 +1,32 @@
+#include "sampling/inverse_transform.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace lightrw::sampling {
+
+void InverseTransformTable::Build(std::span<const Weight> weights) {
+  table_.clear();
+  table_.reserve(weights.size());
+  uint64_t running = 0;
+  for (const Weight w : weights) {
+    running += w;
+    table_.push_back(running);
+  }
+}
+
+size_t InverseTransformTable::Sample(uint64_t random64) const {
+  const uint64_t total = total_weight();
+  if (total == 0) {
+    return kNoSample;
+  }
+  // Map the 64-bit uniform draw onto [0, total) without bias worth noting
+  // at these magnitudes, then find the first prefix strictly greater.
+  const uint64_t target = random64 % total;
+  const auto it = std::upper_bound(table_.begin(), table_.end(), target);
+  LIGHTRW_DCHECK(it != table_.end());
+  return static_cast<size_t>(it - table_.begin());
+}
+
+}  // namespace lightrw::sampling

@@ -1,0 +1,45 @@
+// Inverse transform sampling: the table-based method ThunderRW is
+// configured with (paper §2.2). Initialization builds an inclusive
+// prefix-sum table of the weights (O(n) time and space — the intermediate
+// data structure whose DRAM traffic motivates LightRW); generation binary
+// searches the table with one uniform random number.
+
+#ifndef LIGHTRW_SAMPLING_INVERSE_TRANSFORM_H_
+#define LIGHTRW_SAMPLING_INVERSE_TRANSFORM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sampling/sampler.h"
+
+namespace lightrw::sampling {
+
+// Reusable inverse-transform sampler. Build() may be called repeatedly;
+// the table vector is reused across steps to avoid reallocation.
+class InverseTransformTable {
+ public:
+  // Initialization stage: builds the inclusive prefix-sum table.
+  void Build(std::span<const Weight> weights);
+
+  // Generation stage: draws item index from a 64-bit uniform random value.
+  // Returns kNoSample if the total weight is zero.
+  size_t Sample(uint64_t random64) const;
+
+  uint64_t total_weight() const {
+    return table_.empty() ? 0 : table_.back();
+  }
+  size_t size() const { return table_.size(); }
+
+  // Bytes written during Build / read during Sample, for the Table 1
+  // intermediate-traffic accounting.
+  uint64_t table_bytes() const { return table_.size() * sizeof(uint64_t); }
+
+ private:
+  std::vector<uint64_t> table_;  // inclusive prefix sums
+};
+
+}  // namespace lightrw::sampling
+
+#endif  // LIGHTRW_SAMPLING_INVERSE_TRANSFORM_H_

@@ -1,0 +1,59 @@
+#include "sampling/parallel_wrs.h"
+
+#include "common/check.h"
+
+namespace lightrw::sampling {
+
+ParallelWrsSampler::ParallelWrsSampler(size_t k, rng::ThunderingRng* rng,
+                                       size_t stream_base)
+    : k_(k), rng_(rng), stream_base_(stream_base), prefix_(k) {
+  LIGHTRW_CHECK(k >= 1);
+  LIGHTRW_CHECK(rng != nullptr);
+  LIGHTRW_CHECK(stream_base + k <= rng->num_streams());
+}
+
+void ParallelWrsSampler::OfferBatch(std::span<const Weight> weights,
+                                    size_t base_index) {
+  LIGHTRW_DCHECK(!weights.empty());
+  LIGHTRW_DCHECK(weights.size() <= k_);
+  const size_t n = weights.size();
+
+  // Step (a): inclusive prefix sum of the batch (log-depth in hardware,
+  // sequential here — the functional result is identical).
+  uint64_t running = 0;
+  for (size_t j = 0; j < n; ++j) {
+    running += weights[j];
+    prefix_[j] = running;
+  }
+
+  // Steps (b)-(c): every lane tests independently against its own random
+  // stream; step (d): the highest selected lane index wins, implementing
+  // "the latest candidate replaces the reservoir".
+  size_t selected_lane = kNoSample;
+  for (size_t j = 0; j < n; ++j) {
+    if (weights[j] == 0) {
+      continue;
+    }
+    const uint32_t r = rng_->Next(stream_base_ + j);
+    if (WrsSelect(weights[j], weight_sum_ + prefix_[j], r)) {
+      selected_lane = j;  // later lanes overwrite earlier ones
+    }
+  }
+  if (selected_lane != kNoSample) {
+    selected_ = base_index + selected_lane;
+  }
+
+  weight_sum_ += running;
+  ++batches_consumed_;
+}
+
+size_t ParallelWrsSampler::SampleAll(std::span<const Weight> weights) {
+  Reset();
+  for (size_t offset = 0; offset < weights.size(); offset += k_) {
+    const size_t n = std::min(k_, weights.size() - offset);
+    OfferBatch(weights.subspan(offset, n), offset);
+  }
+  return selected_;
+}
+
+}  // namespace lightrw::sampling

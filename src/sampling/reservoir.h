@@ -1,0 +1,59 @@
+// Sequential weighted reservoir sampling (reservoir size 1).
+//
+// Streaming single-pass sampler: item i with weight w_i replaces the
+// reservoir with probability w_i / W_i where W_i is the inclusive running
+// sum, which yields final selection probability w_i / W_n (Efraimidis &
+// Spirakis; paper §3.2). Needs one random number per item — the cost that
+// makes WRS unattractive on CPUs but free on FPGAs.
+
+#ifndef LIGHTRW_SAMPLING_RESERVOIR_H_
+#define LIGHTRW_SAMPLING_RESERVOIR_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "rng/rng.h"
+#include "sampling/sampler.h"
+
+namespace lightrw::sampling {
+
+// Single-slot streaming reservoir sampler over an item stream.
+// Not thread-safe; reuse across steps via Reset().
+class ReservoirSampler {
+ public:
+  // Draws random numbers from `rng` stream `stream`. `rng` must outlive
+  // this object.
+  ReservoirSampler(rng::ThunderingRng* rng, size_t stream)
+      : rng_(rng), stream_(stream) {}
+
+  void Reset() {
+    weight_sum_ = 0;
+    selected_ = kNoSample;
+  }
+
+  // Offers the next item of the stream.
+  void Offer(size_t index, Weight weight) {
+    if (weight == 0) {
+      return;  // zero-weight items are not sampleable and do not change W
+    }
+    weight_sum_ += weight;
+    const uint32_t r = rng_->Next(stream_);
+    if (WrsSelect(weight, weight_sum_, r)) {
+      selected_ = index;
+    }
+  }
+
+  // Index of the sampled item so far, or kNoSample.
+  size_t selected() const { return selected_; }
+  uint64_t weight_sum() const { return weight_sum_; }
+
+ private:
+  rng::ThunderingRng* rng_;
+  size_t stream_;
+  uint64_t weight_sum_ = 0;
+  size_t selected_ = kNoSample;
+};
+
+}  // namespace lightrw::sampling
+
+#endif  // LIGHTRW_SAMPLING_RESERVOIR_H_

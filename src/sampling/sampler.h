@@ -1,0 +1,65 @@
+// Shared declarations for the weighted samplers.
+//
+// All samplers draw an index i with probability w_i / sum(w) from a set of
+// unnormalized integer weights. Items with zero weight are never selected
+// (MetaPath uses zero weights to exclude relation-mismatched edges). If
+// every weight is zero the samplers report kNoSample and a dynamic walk
+// terminates early.
+
+#ifndef LIGHTRW_SAMPLING_SAMPLER_H_
+#define LIGHTRW_SAMPLING_SAMPLER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+#include "graph/types.h"
+
+namespace lightrw::sampling {
+
+using graph::Weight;
+
+// Sentinel index meaning "no item had positive weight".
+inline constexpr size_t kNoSample = std::numeric_limits<size_t>::max();
+
+// The paper's Eq. (8) selection test, shared by the sequential and parallel
+// WRS implementations and by the hardware Selector model:
+//
+//   select item j  <=>  2^32 * w_j  >  r * S_j + w_j
+//
+// where S_j is the inclusive running weight sum up to and including item j
+// and r is a uniform 32-bit random number. This is the division-free integer
+// rewrite of  w_j / S_j > r / (2^32 - 1).
+inline bool WrsSelect(Weight w, uint64_t inclusive_sum, uint32_t r) {
+  // S_j can exceed 2^32, so the right-hand product needs 128-bit range.
+  const unsigned __int128 lhs = static_cast<unsigned __int128>(w) << 32;
+  const unsigned __int128 rhs =
+      static_cast<unsigned __int128>(r) * inclusive_sum + w;
+  return lhs > rhs;
+}
+
+// Enumerates the sampling methods available to the CPU baseline engine.
+enum class SamplerKind {
+  kInverseTransform,  // ThunderRW's recommended configuration
+  kAlias,
+  kReservoir,         // sequential WRS (one random number per item)
+  kParallelWrs,       // the paper's Algorithm 4.1 executed on CPU
+};
+
+inline const char* SamplerKindName(SamplerKind kind) {
+  switch (kind) {
+    case SamplerKind::kInverseTransform:
+      return "its";
+    case SamplerKind::kAlias:
+      return "alias";
+    case SamplerKind::kReservoir:
+      return "wrs";
+    case SamplerKind::kParallelWrs:
+      return "pwrs";
+  }
+  return "unknown";
+}
+
+}  // namespace lightrw::sampling
+
+#endif  // LIGHTRW_SAMPLING_SAMPLER_H_

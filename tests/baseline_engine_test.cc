@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include "apps/walk_app.h"
+#include "baseline/engine.h"
+#include "baseline/llc_model.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+
+namespace lightrw::baseline {
+namespace {
+
+using apps::MetaPathApp;
+using apps::Node2VecApp;
+using apps::StaticWalkApp;
+using apps::WalkQuery;
+using graph::CsrGraph;
+using graph::VertexId;
+
+// Checks every produced path: starts at the query vertex and every hop is
+// a real edge.
+void ExpectValidWalks(const CsrGraph& g,
+                      std::span<const WalkQuery> queries,
+                      const WalkOutput& output, uint32_t max_length) {
+  ASSERT_EQ(output.num_paths(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const auto path = output.Path(i);
+    ASSERT_GE(path.size(), 1u);
+    ASSERT_LE(path.size(), static_cast<size_t>(max_length) + 1);
+    EXPECT_EQ(path[0], queries[i].start);
+    for (size_t s = 1; s < path.size(); ++s) {
+      EXPECT_TRUE(g.HasEdge(path[s - 1], path[s]))
+          << "query " << i << " hop " << s;
+    }
+  }
+}
+
+class BaselineSamplerTest
+    : public ::testing::TestWithParam<sampling::SamplerKind> {};
+
+TEST_P(BaselineSamplerTest, ProducesValidWalks) {
+  graph::RmatOptions options;
+  options.scale = 9;
+  options.seed = 17;
+  const CsrGraph g = GenerateRmat(options);
+  StaticWalkApp app;
+  BaselineConfig config;
+  config.sampler = GetParam();
+  BaselineEngine engine(&g, &app, config);
+  const auto queries = apps::MakeVertexQueries(g, /*length=*/10, /*seed=*/3,
+                                               /*max_queries=*/200);
+  WalkOutput output;
+  const auto stats = engine.Run(queries, &output);
+  EXPECT_EQ(stats.queries, queries.size());
+  EXPECT_GT(stats.steps, 0u);
+  EXPECT_GT(stats.edges_examined, stats.steps);
+  ExpectValidWalks(g, queries, output, 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Samplers, BaselineSamplerTest,
+    ::testing::Values(sampling::SamplerKind::kInverseTransform,
+                      sampling::SamplerKind::kAlias,
+                      sampling::SamplerKind::kReservoir,
+                      sampling::SamplerKind::kParallelWrs),
+    [](const auto& info) {
+      return std::string(sampling::SamplerKindName(info.param));
+    });
+
+TEST(BaselineEngineTest, MetaPathRespectsRelationPath) {
+  const CsrGraph g = graph::MakeDatasetStandIn(graph::Dataset::kYoutube,
+                                               /*scale_shift=*/10, 5);
+  const auto relation_path = apps::MakeRandomRelationPath(g, 5, 2);
+  MetaPathApp app(relation_path);
+  BaselineEngine engine(&g, &app, BaselineConfig{});
+  const auto queries = apps::MakeVertexQueries(g, 5, 4, 300);
+  WalkOutput output;
+  engine.Run(queries, &output);
+  for (size_t i = 0; i < output.num_paths(); ++i) {
+    const auto path = output.Path(i);
+    for (size_t s = 1; s < path.size(); ++s) {
+      // The edge taken at step s-1 must carry relation_path[s-1].
+      const VertexId u = path[s - 1];
+      const auto neighbors = g.Neighbors(u);
+      const auto relations = g.NeighborRelations(u);
+      bool found = false;
+      for (size_t j = 0; j < neighbors.size(); ++j) {
+        if (neighbors[j] == path[s] &&
+            relations[j] == relation_path[s - 1]) {
+          found = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(found) << "step " << s << " violates relation path";
+    }
+  }
+}
+
+TEST(BaselineEngineTest, WalkStopsAtDeadEnd) {
+  graph::GraphBuilder builder(3, false);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);  // 2 has no outgoing edges
+  const CsrGraph g = std::move(builder).Build();
+  StaticWalkApp app;
+  BaselineEngine engine(&g, &app, BaselineConfig{});
+  const std::vector<WalkQuery> queries = {{0, 10}};
+  WalkOutput output;
+  const auto stats = engine.Run(queries, &output);
+  EXPECT_EQ(stats.steps, 2u);
+  ASSERT_EQ(output.num_paths(), 1u);
+  EXPECT_EQ(output.Path(0).size(), 3u);
+}
+
+TEST(BaselineEngineTest, ZeroLengthQuery) {
+  graph::GraphBuilder builder(2, false);
+  builder.AddEdge(0, 1);
+  const CsrGraph g = std::move(builder).Build();
+  StaticWalkApp app;
+  BaselineEngine engine(&g, &app, BaselineConfig{});
+  const std::vector<WalkQuery> queries = {{0, 0}};
+  WalkOutput output;
+  const auto stats = engine.Run(queries, &output);
+  EXPECT_EQ(stats.queries, 1u);
+  EXPECT_EQ(stats.steps, 0u);
+  ASSERT_EQ(output.num_paths(), 1u);
+  EXPECT_EQ(output.Path(0).size(), 1u);
+}
+
+TEST(BaselineEngineTest, DeterministicPerSeed) {
+  graph::RmatOptions options;
+  options.scale = 8;
+  options.seed = 9;
+  const CsrGraph g = GenerateRmat(options);
+  StaticWalkApp app;
+  BaselineConfig config;
+  config.seed = 123;
+  const auto queries = apps::MakeVertexQueries(g, 8, 6, 100);
+  WalkOutput a, b;
+  BaselineEngine(&g, &app, config).Run(queries, &a);
+  BaselineEngine(&g, &app, config).Run(queries, &b);
+  EXPECT_EQ(a.vertices, b.vertices);
+  EXPECT_EQ(a.offsets, b.offsets);
+}
+
+TEST(BaselineEngineTest, ProfileCountersPopulated) {
+  const CsrGraph g = graph::MakeDatasetStandIn(graph::Dataset::kYoutube,
+                                               /*scale_shift=*/10, 5);
+  StaticWalkApp app;
+  BaselineConfig config;
+  config.collect_profile = true;
+  BaselineEngine engine(&g, &app, config);
+  const auto queries = apps::MakeVertexQueries(g, 5, 4, 500);
+  const auto stats = engine.Run(queries);
+  const ProfileCounters& prof = stats.profile;
+  EXPECT_GT(prof.neighbor_bytes, 0u);
+  EXPECT_GT(prof.intermediate_bytes_written, 0u);
+  EXPECT_EQ(prof.intermediate_bytes_written, prof.intermediate_bytes_read);
+  // One row lookup per attempted step: every completed step plus at most
+  // one failed attempt per query (dead end / all-zero weights).
+  EXPECT_GE(prof.row_lookups, stats.steps);
+  EXPECT_LE(prof.row_lookups, stats.steps + stats.queries);
+  EXPECT_GT(prof.llc_hits + prof.llc_misses, 0u);
+  EXPECT_GT(prof.memory_bound, 0.0);
+  EXPECT_LT(prof.memory_bound, 1.0);
+  EXPECT_GT(prof.retiring_ratio, 0.0);
+  EXPECT_LT(prof.retiring_ratio, 1.0);
+}
+
+TEST(BaselineEngineTest, LatencyCollection) {
+  const CsrGraph g = graph::MakeDatasetStandIn(graph::Dataset::kYoutube,
+                                               /*scale_shift=*/11, 5);
+  StaticWalkApp app;
+  BaselineConfig config;
+  config.collect_latency = true;
+  BaselineEngine engine(&g, &app, config);
+  const auto queries = apps::MakeVertexQueries(g, 5, 4, 64);
+  const auto stats = engine.Run(queries);
+  EXPECT_EQ(stats.query_latency_seconds.count(), queries.size());
+  EXPECT_GT(stats.query_latency_seconds.Max(), 0.0);
+}
+
+TEST(BaselineEngineTest, MultithreadedRunCoversAllQueries) {
+  graph::RmatOptions options;
+  options.scale = 9;
+  options.seed = 31;
+  const CsrGraph g = GenerateRmat(options);
+  StaticWalkApp app;
+  BaselineConfig config;
+  config.num_threads = 4;
+  BaselineEngine engine(&g, &app, config);
+  const auto queries = apps::MakeVertexQueries(g, 6, 8, 333);
+  WalkOutput output;
+  const auto stats = engine.Run(queries, &output);
+  EXPECT_EQ(stats.queries, queries.size());
+  EXPECT_EQ(output.num_paths(), queries.size());
+}
+
+TEST(BaselineEngineTest, Node2VecWalksValid) {
+  const CsrGraph g = graph::MakeDatasetStandIn(graph::Dataset::kYoutube,
+                                               /*scale_shift=*/11, 5);
+  Node2VecApp app(2.0, 0.5);
+  BaselineEngine engine(&g, &app, BaselineConfig{});
+  const auto queries = apps::MakeVertexQueries(g, 12, 4, 100);
+  WalkOutput output;
+  const auto stats = engine.Run(queries, &output);
+  EXPECT_EQ(stats.queries, queries.size());
+  ExpectValidWalks(g, queries, output, 12);
+}
+
+TEST(LlcModelTest, HitsAfterFill) {
+  LlcModel llc(/*capacity_bytes=*/1024, /*line_bytes=*/64);
+  EXPECT_FALSE(llc.Probe(0));
+  EXPECT_TRUE(llc.Probe(0));
+  EXPECT_TRUE(llc.Probe(63));   // same line
+  EXPECT_FALSE(llc.Probe(64));  // next line
+  EXPECT_EQ(llc.hits(), 2u);
+  EXPECT_EQ(llc.misses(), 2u);
+}
+
+TEST(LlcModelTest, ConflictEviction) {
+  LlcModel llc(128, 64);  // two lines
+  EXPECT_FALSE(llc.Probe(0));
+  EXPECT_FALSE(llc.Probe(128));  // maps to the same set as 0 -> evicts
+  EXPECT_FALSE(llc.Probe(0));    // miss again
+}
+
+TEST(LlcModelTest, ProbeRangeTouchesEachLineOnce) {
+  LlcModel llc(4096, 64);
+  llc.ProbeRange(10, 120);  // bytes 10..129 span lines 0, 1, 2
+  EXPECT_EQ(llc.accesses(), 3u);
+  llc.ProbeRange(0, 1);
+  EXPECT_EQ(llc.hits(), 1u);
+  llc.ProbeRange(64, 64);  // exactly line 1
+  EXPECT_EQ(llc.hits(), 2u);
+}
+
+TEST(LlcModelTest, MissRatio) {
+  LlcModel llc(4096, 64);
+  EXPECT_EQ(llc.MissRatio(), 0.0);
+  llc.Probe(0);
+  llc.Probe(0);
+  EXPECT_DOUBLE_EQ(llc.MissRatio(), 0.5);
+}
+
+}  // namespace
+}  // namespace lightrw::baseline

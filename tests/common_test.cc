@@ -1,0 +1,141 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/bits.h"
+#include "common/histogram.h"
+#include "common/status.h"
+
+namespace lightrw {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status s = InvalidArgumentError("bad weight");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad weight");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad weight");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_EQ(StatusCodeName(StatusCode::kNotFound), "NOT_FOUND");
+  EXPECT_EQ(StatusCodeName(StatusCode::kOutOfRange), "OUT_OF_RANGE");
+  EXPECT_EQ(StatusCodeName(StatusCode::kIoError), "IO_ERROR");
+  EXPECT_EQ(StatusCodeName(StatusCode::kInternal), "INTERNAL");
+  EXPECT_EQ(StatusCodeName(StatusCode::kUnimplemented), "UNIMPLEMENTED");
+  EXPECT_EQ(StatusCodeName(StatusCode::kFailedPrecondition),
+            "FAILED_PRECONDITION");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = NotFoundError("nope");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> v = std::string("hello");
+  ASSERT_TRUE(v.ok());
+  const std::string s = std::move(v).value();
+  EXPECT_EQ(s, "hello");
+}
+
+TEST(BitsTest, CeilDiv) {
+  EXPECT_EQ(CeilDiv(0, 4), 0u);
+  EXPECT_EQ(CeilDiv(1, 4), 1u);
+  EXPECT_EQ(CeilDiv(4, 4), 1u);
+  EXPECT_EQ(CeilDiv(5, 4), 2u);
+  EXPECT_EQ(CeilDiv(33, 16), 3u);
+}
+
+TEST(BitsTest, RoundUp) {
+  EXPECT_EQ(RoundUp(0, 8), 0u);
+  EXPECT_EQ(RoundUp(1, 8), 8u);
+  EXPECT_EQ(RoundUp(8, 8), 8u);
+  EXPECT_EQ(RoundUp(9, 8), 16u);
+}
+
+TEST(BitsTest, PowersOfTwo) {
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(4096));
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_FALSE(IsPowerOfTwo(6));
+  EXPECT_EQ(NextPowerOfTwo(1), 1u);
+  EXPECT_EQ(NextPowerOfTwo(5), 8u);
+  EXPECT_EQ(NextPowerOfTwo(1024), 1024u);
+}
+
+TEST(BitsTest, Logs) {
+  EXPECT_EQ(FloorLog2(1), 0u);
+  EXPECT_EQ(FloorLog2(2), 1u);
+  EXPECT_EQ(FloorLog2(3), 1u);
+  EXPECT_EQ(FloorLog2(1024), 10u);
+  EXPECT_EQ(CeilLog2(1), 0u);
+  EXPECT_EQ(CeilLog2(2), 1u);
+  EXPECT_EQ(CeilLog2(3), 2u);
+  EXPECT_EQ(CeilLog2(1025), 11u);
+}
+
+TEST(SampleStatsTest, BasicMoments) {
+  SampleStats stats;
+  for (const double x : {1.0, 2.0, 3.0, 4.0, 5.0}) {
+    stats.Add(x);
+  }
+  EXPECT_EQ(stats.count(), 5u);
+  EXPECT_DOUBLE_EQ(stats.Mean(), 3.0);
+  EXPECT_DOUBLE_EQ(stats.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.Max(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.Median(), 3.0);
+  EXPECT_NEAR(stats.StdDev(), std::sqrt(2.0), 1e-12);
+}
+
+TEST(SampleStatsTest, QuantileInterpolation) {
+  SampleStats stats;
+  stats.Add(0.0);
+  stats.Add(10.0);
+  EXPECT_DOUBLE_EQ(stats.Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(stats.Quantile(0.25), 2.5);
+  EXPECT_DOUBLE_EQ(stats.Quantile(1.0), 10.0);
+}
+
+TEST(SampleStatsTest, QuantileAfterInterleavedAdds) {
+  SampleStats stats;
+  stats.Add(5.0);
+  EXPECT_DOUBLE_EQ(stats.Median(), 5.0);
+  stats.Add(1.0);  // must resort lazily
+  stats.Add(9.0);
+  EXPECT_DOUBLE_EQ(stats.Median(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.Min(), 1.0);
+}
+
+TEST(CountHistogramTest, BucketsAndOverflow) {
+  CountHistogram hist(4);
+  hist.Add(0);
+  hist.Add(1);
+  hist.Add(1);
+  hist.Add(3);
+  hist.Add(4);   // overflow
+  hist.Add(99);  // overflow
+  EXPECT_EQ(hist.total(), 6u);
+  EXPECT_EQ(hist.bucket(0), 1u);
+  EXPECT_EQ(hist.bucket(1), 2u);
+  EXPECT_EQ(hist.bucket(2), 0u);
+  EXPECT_EQ(hist.bucket(3), 1u);
+  EXPECT_EQ(hist.overflow(), 2u);
+}
+
+}  // namespace
+}  // namespace lightrw

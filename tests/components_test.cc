@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "apps/walk_app.h"
+#include "graph/builder.h"
+#include "graph/components.h"
+#include "graph/generators.h"
+#include "lightrw/functional_engine.h"
+
+namespace lightrw::graph {
+namespace {
+
+TEST(ConnectedComponentsTest, TwoIslands) {
+  GraphBuilder builder(6, /*undirected=*/true);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(3, 4);
+  const CsrGraph g = std::move(builder).Build();  // vertex 5 isolated
+  const ConnectedComponents cc(g);
+  EXPECT_EQ(cc.num_components(), 3u);
+  EXPECT_TRUE(cc.SameComponent(0, 2));
+  EXPECT_TRUE(cc.SameComponent(3, 4));
+  EXPECT_FALSE(cc.SameComponent(0, 3));
+  EXPECT_FALSE(cc.SameComponent(5, 0));
+  EXPECT_EQ(cc.sizes()[cc.ComponentOf(0)], 3u);
+  EXPECT_EQ(cc.sizes()[cc.ComponentOf(5)], 1u);
+}
+
+TEST(ConnectedComponentsTest, DirectedEdgesCountAsUndirected) {
+  GraphBuilder builder(3, /*undirected=*/false);
+  builder.AddEdge(0, 1);  // only one direction
+  builder.AddEdge(2, 1);
+  const CsrGraph g = std::move(builder).Build();
+  const ConnectedComponents cc(g);
+  EXPECT_EQ(cc.num_components(), 1u);  // weakly connected
+}
+
+TEST(ConnectedComponentsTest, LargestComponentShare) {
+  GraphBuilder builder(10, true);
+  for (VertexId v = 0; v < 7; ++v) {
+    builder.AddEdge(v, (v + 1) % 8);
+  }
+  const CsrGraph g = std::move(builder).Build();  // 8-cycle + 2 isolated
+  const ConnectedComponents cc(g);
+  EXPECT_EQ(cc.num_components(), 3u);
+  EXPECT_DOUBLE_EQ(cc.LargestComponentShare(), 0.8);
+  EXPECT_EQ(cc.sizes()[cc.LargestComponent()], 8u);
+}
+
+TEST(ConnectedComponentsTest, SizesSumToVertexCount) {
+  RmatOptions options;
+  options.scale = 10;
+  options.seed = 21;
+  const CsrGraph g = GenerateRmat(options);
+  const ConnectedComponents cc(g);
+  uint64_t total = 0;
+  for (const uint32_t size : cc.sizes()) {
+    total += size;
+  }
+  EXPECT_EQ(total, g.num_vertices());
+}
+
+// Walks never escape their start vertex's component — the property that
+// makes components useful for coverage diagnostics.
+TEST(ConnectedComponentsTest, WalksStayInComponent) {
+  GraphBuilder builder(8, true);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(2, 0);
+  builder.AddEdge(4, 5);
+  builder.AddEdge(5, 6);
+  const CsrGraph g = std::move(builder).Build();
+  const ConnectedComponents cc(g);
+
+  apps::StaticWalkApp app;
+  core::AcceleratorConfig config;
+  core::FunctionalEngine engine(&g, &app, config);
+  std::vector<apps::WalkQuery> queries;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    queries.push_back({v, 20});
+  }
+  baseline::WalkOutput output;
+  engine.Run(queries, &output);
+  for (size_t i = 0; i < output.num_paths(); ++i) {
+    const auto path = output.Path(i);
+    for (const VertexId v : path) {
+      EXPECT_TRUE(cc.SameComponent(path[0], v));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lightrw::graph

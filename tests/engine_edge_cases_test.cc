@@ -1,0 +1,234 @@
+// Cross-cutting edge cases and ablation-interplay tests for the three
+// engines that the per-module suites do not cover.
+
+#include <gtest/gtest.h>
+
+#include "apps/ppr.h"
+#include "apps/walk_app.h"
+#include "baseline/engine.h"
+#include "common/histogram.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "lightrw/cycle_engine.h"
+#include "lightrw/functional_engine.h"
+#include "lightrw/report.h"
+
+namespace lightrw {
+namespace {
+
+using apps::StaticWalkApp;
+using apps::WalkQuery;
+using graph::CsrGraph;
+using graph::VertexId;
+
+TEST(SampleStatsMergeTest, CombinesSamples) {
+  SampleStats a, b;
+  a.Add(1.0);
+  a.Add(3.0);
+  b.Add(2.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.Median(), 2.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 6.0);
+}
+
+TEST(BaselineEngineTest, MultithreadedLatencyMerged) {
+  const CsrGraph g = graph::MakeDatasetStandIn(graph::Dataset::kYoutube,
+                                               /*scale_shift=*/11, 5);
+  StaticWalkApp app;
+  baseline::BaselineConfig config;
+  config.num_threads = 3;
+  config.collect_latency = true;
+  baseline::BaselineEngine engine(&g, &app, config);
+  const auto queries = apps::MakeVertexQueries(g, 5, 4, 90);
+  const auto stats = engine.Run(queries);
+  EXPECT_EQ(stats.query_latency_seconds.count(), queries.size());
+}
+
+TEST(CycleEngineTest, StagedModeStillProducesValidWalks) {
+  const CsrGraph g = graph::MakeDatasetStandIn(graph::Dataset::kYoutube,
+                                               /*scale_shift=*/11, 5);
+  StaticWalkApp app;
+  core::AcceleratorConfig config;
+  config.num_instances = 1;
+  config.enable_wrs_pipeline = false;  // staged ablation path
+  core::CycleEngine engine(&g, &app, config);
+  const auto queries = apps::MakeVertexQueries(g, 6, 3, 100);
+  baseline::WalkOutput output;
+  const auto stats = engine.Run(queries, &output);
+  EXPECT_EQ(stats.queries, queries.size());
+  for (size_t i = 0; i < output.num_paths(); ++i) {
+    const auto path = output.Path(i);
+    for (size_t s = 1; s < path.size(); ++s) {
+      EXPECT_TRUE(g.HasEdge(path[s - 1], path[s]));
+    }
+  }
+}
+
+TEST(CycleEngineTest, AllAblationsComposable) {
+  // WRS off + DAC off + short-only bursts must still run and be the
+  // slowest configuration of all.
+  const CsrGraph g = graph::MakeDatasetStandIn(graph::Dataset::kYoutube,
+                                               /*scale_shift=*/11, 5);
+  StaticWalkApp app;
+  const auto queries = apps::MakeVertexQueries(g, 6, 3, 150);
+
+  core::AcceleratorConfig best;
+  best.num_instances = 1;
+  core::AcceleratorConfig worst = best;
+  worst.enable_wrs_pipeline = false;
+  worst.cache_kind = core::CacheKind::kNone;
+  worst.burst = core::BurstStrategy{1, 0};
+
+  const auto fast = core::CycleEngine(&g, &app, best).Run(queries);
+  const auto slow = core::CycleEngine(&g, &app, worst).Run(queries);
+  EXPECT_GT(slow.cycles, fast.cycles);
+}
+
+TEST(CycleEngineTest, LruAndFifoCachesRunEndToEnd) {
+  const CsrGraph g = graph::MakeDatasetStandIn(graph::Dataset::kYoutube,
+                                               /*scale_shift=*/11, 5);
+  StaticWalkApp app;
+  const auto queries = apps::MakeVertexQueries(g, 6, 3, 150);
+  for (const auto kind : {core::CacheKind::kLru, core::CacheKind::kFifo}) {
+    core::AcceleratorConfig config;
+    config.num_instances = 1;
+    config.cache_kind = kind;
+    const auto stats = core::CycleEngine(&g, &app, config).Run(queries);
+    EXPECT_EQ(stats.queries, queries.size());
+    EXPECT_GT(stats.cache.accesses(), 0u);
+  }
+}
+
+TEST(CycleEngineTest, EffectiveBandwidthBelowAggregatePeak) {
+  const CsrGraph g = graph::MakeDatasetStandIn(graph::Dataset::kOrkut,
+                                               /*scale_shift=*/10, 5);
+  StaticWalkApp app;
+  core::AcceleratorConfig config;
+  config.num_instances = 4;
+  const auto stats = core::CycleEngine(&g, &app, config).Run(
+      apps::MakeVertexQueries(g, 8, 3, 400));
+  const double aggregate_peak =
+      4.0 * 64.0 * config.dram.clock_hz * config.dram.efficiency;
+  EXPECT_GT(stats.EffectiveBandwidth(), 0.0);
+  EXPECT_LT(stats.EffectiveBandwidth(), aggregate_peak);
+}
+
+TEST(CycleEngineTest, MoreQueriesThanSlotsAllComplete) {
+  const CsrGraph g = graph::MakeDatasetStandIn(graph::Dataset::kYoutube,
+                                               /*scale_shift=*/12, 5);
+  StaticWalkApp app;
+  core::AcceleratorConfig config;
+  config.num_instances = 2;
+  config.inflight_queries = 4;  // tiny pipeline, many waves of queries
+  core::CycleEngine engine(&g, &app, config);
+  const auto queries = apps::MakeVertexQueries(g, 4, 3, 500);
+  const auto stats = engine.Run(queries);
+  EXPECT_EQ(stats.queries, queries.size());
+}
+
+TEST(FunctionalEngineTest, IsolatedStartVertexRetiresImmediately) {
+  graph::GraphBuilder builder(3, false);
+  builder.AddEdge(1, 2);
+  const CsrGraph g = std::move(builder).Build();
+  StaticWalkApp app;
+  core::AcceleratorConfig config;
+  core::FunctionalEngine engine(&g, &app, config);
+  const std::vector<WalkQuery> queries = {{0, 5}};
+  baseline::WalkOutput output;
+  const auto stats = engine.Run(queries, &output);
+  EXPECT_EQ(stats.steps, 0u);
+  ASSERT_EQ(output.num_paths(), 1u);
+  EXPECT_EQ(output.Path(0).size(), 1u);
+}
+
+TEST(WalkOutputTest, PathAccessors) {
+  baseline::WalkOutput output;
+  output.vertices = {7, 8, 9, 3};
+  output.offsets = {0, 3, 4};
+  ASSERT_EQ(output.num_paths(), 2u);
+  EXPECT_EQ(output.Path(0).size(), 3u);
+  EXPECT_EQ(output.Path(0)[2], 9u);
+  EXPECT_EQ(output.Path(1)[0], 3u);
+}
+
+TEST(UndirectedBuilderTest, SelfLoopStoredOnce) {
+  graph::GraphBuilder builder(2, /*undirected=*/true);
+  builder.AddEdge(0, 0);
+  builder.AddEdge(0, 1);
+  const CsrGraph g = std::move(builder).Build();
+  // The self loop must not be duplicated by the reverse pass.
+  EXPECT_EQ(g.Degree(0), 2u);  // {0, 1}
+  EXPECT_EQ(g.Degree(1), 1u);
+  EXPECT_TRUE(g.HasEdge(0, 0));
+}
+
+TEST(PprOnCycleEngineTest, StopsRespectQueryCap) {
+  const CsrGraph g = graph::MakeDatasetStandIn(graph::Dataset::kYoutube,
+                                               /*scale_shift=*/11, 5);
+  apps::PprApp app(0.01);  // very low stop prob: length cap dominates
+  core::AcceleratorConfig config;
+  config.num_instances = 1;
+  core::CycleEngine engine(&g, &app, config);
+  const std::vector<WalkQuery> queries(500, WalkQuery{0, 5});
+  baseline::WalkOutput output;
+  engine.Run(queries, &output);
+  for (size_t i = 0; i < output.num_paths(); ++i) {
+    EXPECT_LE(output.Path(i).size(), 6u);
+  }
+}
+
+TEST(HbmConfigTest, MoreNarrowChannelsTradeOff) {
+  // HBM deployment study: 8 pseudo-channels of half-width HBM vs 4 DDR4
+  // channels. More instances win on parallelism even though each channel
+  // is narrower.
+  const CsrGraph g = graph::MakeDatasetStandIn(graph::Dataset::kLiveJournal,
+                                               /*scale_shift=*/11, 5);
+  StaticWalkApp app;
+  const auto queries = apps::MakeVertexQueries(g, 8, 3, 1024);
+
+  core::AcceleratorConfig ddr;
+  ddr.num_instances = 4;
+  core::AcceleratorConfig hbm = ddr;
+  hbm.dram = core::HbmPseudoChannelDram();
+  hbm.num_instances = 4;  // per-channel comparison first
+
+  const auto ddr_stats = core::CycleEngine(&g, &app, ddr).Run(queries);
+  const auto hbm_stats = core::CycleEngine(&g, &app, hbm).Run(queries);
+  // Same instance count: the narrower HBM channels are no faster.
+  EXPECT_GE(hbm_stats.cycles, ddr_stats.cycles * 9 / 10);
+  // Peak bandwidth per channel is halved.
+  hwsim::DramChannel hbm_channel(core::HbmPseudoChannelDram());
+  hwsim::DramChannel ddr_channel{hwsim::DramConfig{}};
+  EXPECT_NEAR(hbm_channel.PeakBandwidth() / ddr_channel.PeakBandwidth(),
+              0.5, 1e-9);
+}
+
+TEST(RunReportTest, MentionsAllSections) {
+  const CsrGraph g = graph::MakeDatasetStandIn(graph::Dataset::kYoutube,
+                                               /*scale_shift=*/12, 5);
+  apps::Node2VecApp app(2.0, 0.5);
+  core::AcceleratorConfig config;
+  config.num_instances = 2;
+  core::CycleEngine engine(&g, &app, config);
+  const auto queries = apps::MakeVertexQueries(g, 5, 3, 50);
+  const auto stats = engine.Run(queries);
+
+  core::RunReportInputs inputs;
+  inputs.graph = &g;
+  inputs.config = &config;
+  inputs.stats = &stats;
+  inputs.app_name = app.name();
+  inputs.needs_prev_neighbors = true;
+  inputs.num_queries = queries.size();
+  inputs.query_length = 5;
+  const std::string report = core::FormatRunReport(inputs);
+  for (const char* expected :
+       {"Node2Vec", "kernel:", "memory:", "row cache:", "burst engine:",
+        "pcie:", "power:", "resources:"}) {
+    EXPECT_NE(report.find(expected), std::string::npos) << expected;
+  }
+}
+
+}  // namespace
+}  // namespace lightrw

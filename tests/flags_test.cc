@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "common/flags.h"
+
+namespace lightrw {
+namespace {
+
+TEST(FlagParserTest, DefaultsApply) {
+  FlagParser flags;
+  flags.Define("length", "walk length", "80");
+  flags.Define("rate", "a rate", "0.5");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(flags.Parse(1, argv).ok());
+  EXPECT_EQ(flags.GetInt("length"), 80);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("rate"), 0.5);
+}
+
+TEST(FlagParserTest, EqualsForm) {
+  FlagParser flags;
+  flags.Define("name", "", "x");
+  const char* argv[] = {"prog", "--name=value"};
+  ASSERT_TRUE(flags.Parse(2, argv).ok());
+  EXPECT_EQ(flags.GetString("name"), "value");
+}
+
+TEST(FlagParserTest, SpaceForm) {
+  FlagParser flags;
+  flags.Define("count", "", "1");
+  const char* argv[] = {"prog", "--count", "42"};
+  ASSERT_TRUE(flags.Parse(3, argv).ok());
+  EXPECT_EQ(flags.GetInt("count"), 42);
+}
+
+TEST(FlagParserTest, BareBoolean) {
+  FlagParser flags;
+  flags.Define("verbose", "", "false");
+  const char* argv[] = {"prog", "--verbose"};
+  ASSERT_TRUE(flags.Parse(2, argv).ok());
+  EXPECT_TRUE(flags.GetBool("verbose"));
+}
+
+TEST(FlagParserTest, BooleanVariants) {
+  FlagParser flags;
+  flags.Define("a", "", "false");
+  flags.Define("b", "", "true");
+  const char* argv[] = {"prog", "--a=yes", "--b=0"};
+  ASSERT_TRUE(flags.Parse(3, argv).ok());
+  EXPECT_TRUE(flags.GetBool("a"));
+  EXPECT_FALSE(flags.GetBool("b"));
+}
+
+TEST(FlagParserTest, UnknownFlagRejected) {
+  FlagParser flags;
+  flags.Define("known", "", "1");
+  const char* argv[] = {"prog", "--unknown=3"};
+  const Status status = flags.Parse(2, argv);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FlagParserTest, PositionalArguments) {
+  FlagParser flags;
+  flags.Define("k", "", "1");
+  const char* argv[] = {"prog", "input.txt", "--k=2", "output.txt"};
+  ASSERT_TRUE(flags.Parse(4, argv).ok());
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "input.txt");
+  EXPECT_EQ(flags.positional()[1], "output.txt");
+  EXPECT_EQ(flags.GetInt("k"), 2);
+}
+
+TEST(FlagParserTest, NegativeNumbers) {
+  FlagParser flags;
+  flags.Define("delta", "", "0");
+  const char* argv[] = {"prog", "--delta=-5"};
+  ASSERT_TRUE(flags.Parse(2, argv).ok());
+  EXPECT_EQ(flags.GetInt("delta"), -5);
+}
+
+TEST(FlagParserTest, HelpTextMentionsFlags) {
+  FlagParser flags;
+  flags.Define("alpha", "stop probability", "0.15");
+  const std::string help = flags.HelpText();
+  EXPECT_NE(help.find("--alpha"), std::string::npos);
+  EXPECT_NE(help.find("stop probability"), std::string::npos);
+  EXPECT_NE(help.find("0.15"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lightrw

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/stats.h"
+
+namespace lightrw::graph {
+namespace {
+
+TEST(RmatTest, ProducesRequestedScale) {
+  RmatOptions options;
+  options.scale = 10;
+  options.edge_factor = 8;
+  options.seed = 3;
+  const CsrGraph g = GenerateRmat(options);
+  EXPECT_EQ(g.num_vertices(), 1024u);
+  // Dedup and self-loop removal shrink the edge count, but most survive.
+  EXPECT_GT(g.num_edges(), 4000u);
+  EXPECT_LE(g.num_edges(), 8192u);
+}
+
+TEST(RmatTest, DeterministicPerSeed) {
+  RmatOptions options;
+  options.scale = 8;
+  options.seed = 11;
+  const CsrGraph a = GenerateRmat(options);
+  const CsrGraph b = GenerateRmat(options);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (VertexId v = 0; v < a.num_vertices(); ++v) {
+    ASSERT_EQ(a.Degree(v), b.Degree(v)) << "vertex " << v;
+  }
+  options.seed = 12;
+  const CsrGraph c = GenerateRmat(options);
+  bool differs = false;
+  for (VertexId v = 0; v < a.num_vertices() && !differs; ++v) {
+    differs = a.Degree(v) != c.Degree(v);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(RmatTest, SkewedDegreeDistribution) {
+  RmatOptions options;
+  options.scale = 12;
+  options.edge_factor = 8;
+  options.seed = 5;
+  const CsrGraph rmat = GenerateRmat(options);
+  const CsrGraph uniform = GenerateErdosRenyi(1 << 12, rmat.num_edges(),
+                                              /*undirected=*/false, 5);
+  const DegreeStats rmat_stats = ComputeDegreeStats(rmat);
+  const DegreeStats uniform_stats = ComputeDegreeStats(uniform);
+  // The R-MAT power law concentrates edges on few vertices.
+  EXPECT_GT(rmat_stats.top1pct_edge_share,
+            2.0 * uniform_stats.top1pct_edge_share);
+  EXPECT_GT(rmat_stats.degree_gini, uniform_stats.degree_gini);
+  EXPECT_GT(rmat_stats.max_degree, 4 * uniform_stats.max_degree);
+}
+
+TEST(ErdosRenyiTest, SizeAndNoSelfLoops) {
+  const CsrGraph g = GenerateErdosRenyi(500, 2000, false, 1);
+  EXPECT_EQ(g.num_vertices(), 500u);
+  EXPECT_LE(g.num_edges(), 2000u);
+  EXPECT_GT(g.num_edges(), 1900u);  // few duplicates at this density
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_FALSE(g.HasEdge(v, v));
+  }
+}
+
+TEST(DatasetInfoTest, MatchesTable2) {
+  const DatasetInfo& lj = GetDatasetInfo(Dataset::kLiveJournal);
+  EXPECT_STREQ(lj.name, "LJ");
+  EXPECT_EQ(lj.num_vertices, 4800000u);
+  EXPECT_EQ(lj.num_edges, 68900000u);
+  EXPECT_TRUE(lj.undirected);
+  const DatasetInfo& uk = GetDatasetInfo(Dataset::kUk2002);
+  EXPECT_FALSE(uk.undirected);
+  EXPECT_EQ(uk.num_vertices, 18520000u);
+}
+
+TEST(DatasetStandInTest, ScalesShapeDown) {
+  const CsrGraph g = MakeDatasetStandIn(Dataset::kYoutube,
+                                        /*scale_shift=*/6, /*seed=*/1);
+  const DatasetInfo& info = GetDatasetInfo(Dataset::kYoutube);
+  // |V| within 2x of the scaled target; |E| below target (dedup) but the
+  // average degree close to the original dataset's.
+  EXPECT_NEAR(static_cast<double>(g.num_vertices()),
+              static_cast<double>(info.num_vertices >> 6), 2.0);
+  const double target_avg =
+      static_cast<double>(info.num_edges) / info.num_vertices;
+  EXPECT_GT(g.AverageDegree(), 0.5 * target_avg);
+  EXPECT_LT(g.AverageDegree(), 1.5 * target_avg);
+}
+
+TEST(DatasetStandInTest, UndirectedDatasetsAreSymmetric) {
+  const CsrGraph g = MakeDatasetStandIn(Dataset::kLiveJournal, 9, 2);
+  size_t checked = 0;
+  for (VertexId v = 0; v < g.num_vertices() && checked < 2000; ++v) {
+    for (const VertexId u : g.Neighbors(v)) {
+      EXPECT_TRUE(g.HasEdge(u, v)) << u << "->" << v;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(DatasetStandInTest, AllDatasetsGenerate) {
+  for (const Dataset d : kAllDatasets) {
+    const CsrGraph g = MakeDatasetStandIn(d, 9, 3);
+    EXPECT_GT(g.num_vertices(), 0u) << GetDatasetInfo(d).name;
+    EXPECT_GT(g.num_edges(), 0u) << GetDatasetInfo(d).name;
+  }
+}
+
+TEST(DatasetStandInTest, AttributesRandomized) {
+  const CsrGraph g = MakeDatasetStandIn(Dataset::kUsPatents, 8, 4);
+  bool nontrivial_weight = false;
+  for (const Weight w : g.col_weight()) {
+    ASSERT_GE(w, 1u);
+    ASSERT_LE(w, 16u);
+    nontrivial_weight |= w != 1;
+  }
+  EXPECT_TRUE(nontrivial_weight);
+  bool nontrivial_label = false;
+  for (const Label l : g.labels()) {
+    nontrivial_label |= l != 0;
+  }
+  EXPECT_TRUE(nontrivial_label);
+}
+
+}  // namespace
+}  // namespace lightrw::graph

@@ -1,0 +1,253 @@
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+
+namespace lightrw::graph {
+namespace {
+
+class GraphIoTest : public ::testing::Test {
+ protected:
+  std::string TempPath(const std::string& name) {
+    return testing::TempDir() + "/lightrw_io_" + name;
+  }
+
+  void WriteFile(const std::string& path, const std::string& content) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs(content.c_str(), f);
+    std::fclose(f);
+  }
+};
+
+void ExpectGraphsEqual(const CsrGraph& a, const CsrGraph& b) {
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (VertexId v = 0; v < a.num_vertices(); ++v) {
+    ASSERT_EQ(a.Degree(v), b.Degree(v)) << "vertex " << v;
+    ASSERT_EQ(a.VertexLabel(v), b.VertexLabel(v)) << "vertex " << v;
+    const auto an = a.Neighbors(v);
+    const auto bn = b.Neighbors(v);
+    for (size_t i = 0; i < an.size(); ++i) {
+      ASSERT_EQ(an[i], bn[i]);
+      ASSERT_EQ(a.NeighborWeights(v)[i], b.NeighborWeights(v)[i]);
+      ASSERT_EQ(a.NeighborRelations(v)[i], b.NeighborRelations(v)[i]);
+    }
+  }
+}
+
+TEST_F(GraphIoTest, ReadsSimpleEdgeList) {
+  const std::string path = TempPath("simple.txt");
+  WriteFile(path,
+            "# comment line\n"
+            "0 1 5 1\n"
+            "1 2\n"
+            "% another comment\n"
+            "2 0 3\n");
+  auto result = ReadEdgeList(path, /*undirected=*/false);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const CsrGraph& g = *result;
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.NeighborWeights(0)[0], 5u);
+  EXPECT_EQ(g.NeighborRelations(0)[0], 1);
+  EXPECT_EQ(g.NeighborWeights(1)[0], 1u);  // default weight
+  EXPECT_EQ(g.NeighborWeights(2)[0], 3u);
+}
+
+TEST_F(GraphIoTest, ReadsUndirected) {
+  const std::string path = TempPath("undirected.txt");
+  WriteFile(path, "0 1\n");
+  auto result = ReadEdgeList(path, /*undirected=*/true);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_edges(), 2u);
+  EXPECT_TRUE(result->HasEdge(1, 0));
+}
+
+TEST_F(GraphIoTest, MissingFileIsIoError) {
+  auto result = ReadEdgeList(TempPath("does_not_exist.txt"), false);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(GraphIoTest, MalformedLineIsInvalidArgument) {
+  const std::string path = TempPath("bad.txt");
+  WriteFile(path, "0 1\nnot numbers\n");
+  auto result = ReadEdgeList(path, false);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(GraphIoTest, OverflowingRelationRejected) {
+  const std::string path = TempPath("badrel.txt");
+  WriteFile(path, "0 1 1 300\n");
+  auto result = ReadEdgeList(path, false);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(GraphIoTest, ZeroWeightRejected) {
+  const std::string path = TempPath("badweight.txt");
+  WriteFile(path, "0 1 0\n");
+  auto result = ReadEdgeList(path, false);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(GraphIoTest, EmptyFileRejected) {
+  const std::string path = TempPath("empty.txt");
+  WriteFile(path, "# only comments\n");
+  auto result = ReadEdgeList(path, false);
+  ASSERT_FALSE(result.ok());
+}
+
+TEST_F(GraphIoTest, EdgeListRoundTrip) {
+  RmatOptions options;
+  options.scale = 8;
+  options.seed = 21;
+  const CsrGraph original = GenerateRmat(options);
+  const std::string path = TempPath("roundtrip.txt");
+  ASSERT_TRUE(WriteEdgeList(original, path).ok());
+  auto reloaded = ReadEdgeList(path, /*undirected=*/false);
+  ASSERT_TRUE(reloaded.ok());
+  // Labels are not part of the text format; compare topology + attributes.
+  ASSERT_EQ(reloaded->num_edges(), original.num_edges());
+  for (VertexId v = 0; v < original.num_vertices(); ++v) {
+    if (original.Degree(v) == 0) {
+      continue;  // trailing isolated vertices may be trimmed by max-id
+    }
+    ASSERT_EQ(reloaded->Degree(v), original.Degree(v));
+    for (size_t i = 0; i < original.Neighbors(v).size(); ++i) {
+      ASSERT_EQ(reloaded->Neighbors(v)[i], original.Neighbors(v)[i]);
+      ASSERT_EQ(reloaded->NeighborWeights(v)[i],
+                original.NeighborWeights(v)[i]);
+    }
+  }
+}
+
+TEST_F(GraphIoTest, BinaryRoundTripPreservesEverything) {
+  RmatOptions options;
+  options.scale = 9;
+  options.seed = 33;
+  const CsrGraph original = GenerateRmat(options);
+  const std::string path = TempPath("roundtrip.bin");
+  ASSERT_TRUE(WriteBinary(original, path).ok());
+  auto reloaded = ReadBinary(path);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  ExpectGraphsEqual(original, *reloaded);
+}
+
+TEST_F(GraphIoTest, BinaryRejectsWrongMagic) {
+  const std::string path = TempPath("notgraph.bin");
+  WriteFile(path, "garbage contents");
+  auto result = ReadBinary(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(GraphIoTest, BinaryRejectsTruncation) {
+  GraphBuilder builder(3, false);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  const CsrGraph g = std::move(builder).Build();
+  const std::string path = TempPath("trunc.bin");
+  ASSERT_TRUE(WriteBinary(g, path).ok());
+  // Truncate the file.
+  std::FILE* f = std::fopen(path.c_str(), "r+");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(ftruncate(fileno(f), 24), 0);
+  std::fclose(f);
+  auto result = ReadBinary(path);
+  ASSERT_FALSE(result.ok());
+}
+
+TEST_F(GraphIoTest, MatrixMarketGeneralInteger) {
+  const std::string path = TempPath("general.mtx");
+  WriteFile(path,
+            "%%MatrixMarket matrix coordinate integer general\n"
+            "% a comment\n"
+            "3 3 3\n"
+            "1 2 5\n"
+            "2 3 7\n"
+            "3 1 2\n");
+  auto result = ReadMatrixMarket(path);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->num_vertices(), 3u);
+  EXPECT_EQ(result->num_edges(), 3u);
+  EXPECT_TRUE(result->HasEdge(0, 1));
+  EXPECT_EQ(result->NeighborWeights(0)[0], 5u);
+  EXPECT_TRUE(result->HasEdge(2, 0));
+}
+
+TEST_F(GraphIoTest, MatrixMarketSymmetricPattern) {
+  const std::string path = TempPath("symmetric.mtx");
+  WriteFile(path,
+            "%%MatrixMarket matrix coordinate pattern symmetric\n"
+            "4 4 2\n"
+            "2 1\n"
+            "4 3\n");
+  auto result = ReadMatrixMarket(path);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->num_edges(), 4u);  // mirrored
+  EXPECT_TRUE(result->HasEdge(0, 1));
+  EXPECT_TRUE(result->HasEdge(1, 0));
+  EXPECT_TRUE(result->HasEdge(2, 3));
+  EXPECT_EQ(result->NeighborWeights(1)[0], 1u);  // pattern weight
+}
+
+TEST_F(GraphIoTest, MatrixMarketRealWeightsClamped) {
+  const std::string path = TempPath("real.mtx");
+  WriteFile(path,
+            "%%MatrixMarket matrix coordinate real general\n"
+            "2 2 2\n"
+            "1 2 0.25\n"
+            "2 1 3.9\n");
+  auto result = ReadMatrixMarket(path);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->NeighborWeights(0)[0], 1u);  // clamped up to 1
+  EXPECT_EQ(result->NeighborWeights(1)[0], 3u);  // truncated
+}
+
+TEST_F(GraphIoTest, MatrixMarketRejectsBadHeader) {
+  const std::string path = TempPath("badheader.mtx");
+  WriteFile(path, "not a matrix market file\n1 1 0\n");
+  EXPECT_FALSE(ReadMatrixMarket(path).ok());
+}
+
+TEST_F(GraphIoTest, MatrixMarketRejectsUnsupportedSymmetry) {
+  const std::string path = TempPath("skew.mtx");
+  WriteFile(path,
+            "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+            "2 2 1\n"
+            "1 2 1.0\n");
+  auto result = ReadMatrixMarket(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST_F(GraphIoTest, MatrixMarketRejectsTruncatedEntries) {
+  const std::string path = TempPath("short.mtx");
+  WriteFile(path,
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "3 3 5\n"
+            "1 2\n");
+  EXPECT_FALSE(ReadMatrixMarket(path).ok());
+}
+
+TEST_F(GraphIoTest, MatrixMarketRejectsOutOfRangeIndex) {
+  const std::string path = TempPath("range.mtx");
+  WriteFile(path,
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "2 2 1\n"
+            "3 1\n");
+  auto result = ReadMatrixMarket(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace lightrw::graph

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "graph/csr.h"
+#include "graph/types.h"
+
+namespace lightrw::graph {
+namespace {
+
+CsrGraph MakeDiamond() {
+  // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3 (directed diamond).
+  GraphBuilder builder(4, /*undirected=*/false);
+  builder.AddEdge(0, 1, /*weight=*/3, /*relation=*/1);
+  builder.AddEdge(0, 2, /*weight=*/1, /*relation=*/2);
+  builder.AddEdge(1, 3, /*weight=*/4, /*relation=*/1);
+  builder.AddEdge(2, 3, /*weight=*/1, /*relation=*/2);
+  return std::move(builder).Build();
+}
+
+TEST(GraphBuilderTest, BuildsCsrShape) {
+  const CsrGraph g = MakeDiamond();
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.Degree(0), 2u);
+  EXPECT_EQ(g.Degree(1), 1u);
+  EXPECT_EQ(g.Degree(2), 1u);
+  EXPECT_EQ(g.Degree(3), 0u);
+  EXPECT_EQ(g.max_degree(), 2u);
+  EXPECT_DOUBLE_EQ(g.AverageDegree(), 1.0);
+}
+
+TEST(GraphBuilderTest, AdjacencySortedByDestination) {
+  GraphBuilder builder(5, false);
+  builder.AddEdge(0, 4);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(0, 3);
+  builder.AddEdge(0, 2);
+  const CsrGraph g = std::move(builder).Build();
+  const auto neighbors = g.Neighbors(0);
+  ASSERT_EQ(neighbors.size(), 4u);
+  for (size_t i = 1; i < neighbors.size(); ++i) {
+    EXPECT_LT(neighbors[i - 1], neighbors[i]);
+  }
+}
+
+TEST(GraphBuilderTest, AttributesTravelWithEdges) {
+  const CsrGraph g = MakeDiamond();
+  const auto neighbors = g.Neighbors(0);
+  const auto weights = g.NeighborWeights(0);
+  const auto relations = g.NeighborRelations(0);
+  ASSERT_EQ(neighbors.size(), 2u);
+  EXPECT_EQ(neighbors[0], 1u);
+  EXPECT_EQ(weights[0], 3u);
+  EXPECT_EQ(relations[0], 1);
+  EXPECT_EQ(neighbors[1], 2u);
+  EXPECT_EQ(weights[1], 1u);
+  EXPECT_EQ(relations[1], 2);
+}
+
+TEST(GraphBuilderTest, UndirectedMaterializesBothDirections) {
+  GraphBuilder builder(3, /*undirected=*/true);
+  builder.AddEdge(0, 1, 7, 3);
+  builder.AddEdge(1, 2, 9, 1);
+  const CsrGraph g = std::move(builder).Build();
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_TRUE(g.HasEdge(1, 2));
+  EXPECT_TRUE(g.HasEdge(2, 1));
+  // Reverse edges carry the same attributes.
+  EXPECT_EQ(g.NeighborWeights(1)[0], 7u);  // 1 -> 0
+  EXPECT_EQ(g.NeighborRelations(1)[0], 3);
+}
+
+TEST(GraphBuilderTest, DuplicateEdgesKeepFirst) {
+  GraphBuilder builder(2, false);
+  builder.AddEdge(0, 1, 5, 0);
+  builder.AddEdge(0, 1, 9, 1);  // dropped
+  const CsrGraph g = std::move(builder).Build();
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.NeighborWeights(0)[0], 5u);
+}
+
+TEST(GraphBuilderTest, SelfLoopsKeptInDirectedMode) {
+  GraphBuilder builder(2, false);
+  builder.AddEdge(0, 0);
+  builder.AddEdge(0, 1);
+  const CsrGraph g = std::move(builder).Build();
+  EXPECT_EQ(g.Degree(0), 2u);
+  EXPECT_TRUE(g.HasEdge(0, 0));
+}
+
+TEST(GraphBuilderTest, VertexLabels) {
+  GraphBuilder builder(3, false);
+  builder.SetVertexLabel(0, 2);
+  builder.SetVertexLabel(2, 1);
+  builder.AddEdge(0, 1);
+  const CsrGraph g = std::move(builder).Build();
+  EXPECT_EQ(g.VertexLabel(0), 2);
+  EXPECT_EQ(g.VertexLabel(1), 0);
+  EXPECT_EQ(g.VertexLabel(2), 1);
+}
+
+TEST(GraphBuilderTest, RandomizeAttributesRespectsRanges) {
+  GraphBuilder builder(100, false);
+  for (VertexId v = 0; v < 99; ++v) {
+    builder.AddEdge(v, v + 1);
+  }
+  builder.RandomizeAttributes(/*num_labels=*/3, /*num_relations=*/2,
+                              /*max_weight=*/8, /*seed=*/5);
+  const CsrGraph g = std::move(builder).Build();
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_LT(g.VertexLabel(v), 3);
+  }
+  for (const Relation r : g.col_relation()) {
+    EXPECT_LT(r, 2);
+  }
+  for (const Weight w : g.col_weight()) {
+    EXPECT_GE(w, 1u);
+    EXPECT_LE(w, 8u);
+  }
+}
+
+TEST(CsrGraphTest, HasEdge) {
+  const CsrGraph g = MakeDiamond();
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(2, 3));
+  EXPECT_FALSE(g.HasEdge(1, 0));
+  EXPECT_FALSE(g.HasEdge(3, 0));
+  EXPECT_FALSE(g.HasEdge(0, 3));
+}
+
+TEST(CsrGraphTest, CountNonIsolatedVertices) {
+  const CsrGraph g = MakeDiamond();
+  EXPECT_EQ(g.CountNonIsolatedVertices(), 3u);  // vertex 3 has out-degree 0
+}
+
+TEST(CsrGraphTest, ModeledByteSize) {
+  const CsrGraph g = MakeDiamond();
+  // (|V|+1) * 8 row bytes + |E| * 8 edge bytes + |V| label bytes.
+  EXPECT_EQ(g.ModeledByteSize(), 5 * 8 + 4 * 8 + 4u);
+}
+
+TEST(CsrGraphTest, RowIndexConsistency) {
+  const CsrGraph g = MakeDiamond();
+  const auto row = g.row_index();
+  ASSERT_EQ(row.size(), 5u);
+  EXPECT_EQ(row[0], 0u);
+  EXPECT_EQ(row[4], g.num_edges());
+  for (size_t i = 1; i < row.size(); ++i) {
+    EXPECT_LE(row[i - 1], row[i]);
+  }
+}
+
+TEST(CsrGraphTest, SummaryMentionsCounts) {
+  const CsrGraph g = MakeDiamond();
+  const std::string s = g.Summary();
+  EXPECT_NE(s.find("|V|=4"), std::string::npos);
+  EXPECT_NE(s.find("|E|=4"), std::string::npos);
+}
+
+TEST(CsrGraphTest, EmptyAdjacency) {
+  GraphBuilder builder(2, false);
+  builder.AddEdge(0, 1);
+  const CsrGraph g = std::move(builder).Build();
+  EXPECT_TRUE(g.Neighbors(1).empty());
+  EXPECT_TRUE(g.NeighborWeights(1).empty());
+}
+
+}  // namespace
+}  // namespace lightrw::graph

@@ -1,0 +1,157 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "hwsim/dram.h"
+#include "hwsim/fifo.h"
+
+namespace lightrw::hwsim {
+namespace {
+
+TEST(FifoTest, PushPopOrder) {
+  Fifo<int> fifo(4);
+  fifo.Push(1);
+  fifo.Push(2);
+  fifo.Push(3);
+  EXPECT_EQ(fifo.size(), 3u);
+  EXPECT_EQ(fifo.Pop(), 1);
+  EXPECT_EQ(fifo.Pop(), 2);
+  EXPECT_EQ(fifo.Front(), 3);
+  EXPECT_EQ(fifo.Pop(), 3);
+  EXPECT_TRUE(fifo.empty());
+}
+
+TEST(FifoTest, CapacityLimits) {
+  Fifo<int> fifo(2);
+  EXPECT_TRUE(fifo.CanPush());
+  fifo.Push(1);
+  fifo.Push(2);
+  EXPECT_FALSE(fifo.CanPush());
+  EXPECT_TRUE(fifo.full());
+  fifo.Pop();
+  EXPECT_TRUE(fifo.CanPush());
+}
+
+TEST(FifoTest, OccupancyStats) {
+  Fifo<int> fifo(8);
+  for (int i = 0; i < 5; ++i) {
+    fifo.Push(i);
+  }
+  fifo.Pop();
+  fifo.Push(9);
+  EXPECT_EQ(fifo.total_pushed(), 6u);
+  EXPECT_EQ(fifo.max_occupancy(), 5u);
+}
+
+TEST(FifoTest, MoveOnlyPayload) {
+  Fifo<std::unique_ptr<int>> fifo(1);
+  fifo.Push(std::make_unique<int>(42));
+  const auto p = fifo.Pop();
+  EXPECT_EQ(*p, 42);
+}
+
+DramConfig TestConfig() {
+  DramConfig config;
+  config.clock_hz = 300e6;
+  config.bus_bytes = 64;
+  config.issue_gap_cycles = 16;
+  config.access_latency_cycles = 128;
+  config.efficiency = 1.0;  // exact arithmetic in unit tests
+  return config;
+}
+
+TEST(DramChannelTest, OccupancyShortBurstPaysIssueGap) {
+  DramChannel channel(TestConfig());
+  EXPECT_EQ(channel.RequestOccupancy(1), 16u);
+  EXPECT_EQ(channel.RequestOccupancy(8), 16u);
+  EXPECT_EQ(channel.RequestOccupancy(16), 16u);
+  EXPECT_EQ(channel.RequestOccupancy(32), 32u);
+}
+
+TEST(DramChannelTest, BandwidthMonotonicInBurstLength) {
+  DramChannel channel(TestConfig());
+  double prev = 0.0;
+  for (uint32_t beats = 1; beats <= 64; beats *= 2) {
+    const double bw = channel.SteadyStateBandwidth(beats);
+    EXPECT_GE(bw, prev);
+    prev = bw;
+  }
+  // Long bursts saturate the bus: 64 B * 300 MHz.
+  EXPECT_NEAR(prev, 64.0 * 300e6, 1e-6);
+}
+
+TEST(DramChannelTest, PeakBandwidthMatchesPaperWithEfficiency) {
+  DramConfig config = TestConfig();
+  config.efficiency = 0.915;
+  DramChannel channel(config);
+  // 0.915 * 64 B * 300 MHz = 17.57 GB/s, the measured peak in Fig. 6.
+  EXPECT_NEAR(channel.PeakBandwidth() / 1e9, 17.57, 0.02);
+}
+
+TEST(DramChannelTest, AccessReturnsDataAfterLatency) {
+  DramChannel channel(TestConfig());
+  const Cycle done = channel.Access(/*ready=*/100, /*burst_beats=*/1);
+  // issue 100..116, transfer 116..117, +128 latency.
+  EXPECT_EQ(done, 100u + 16 + 1 + 128);
+}
+
+TEST(DramChannelTest, BackToBackRequestsSerialize) {
+  // One bank: the second request's issue waits for the first's issue gap
+  // and its transfer waits for the bus.
+  DramChannel channel(TestConfig());
+  const Cycle first = channel.Access(0, 32);   // issue 0..16, bus 16..48
+  const Cycle second = channel.Access(0, 32);  // issue 16..32, bus 48..80
+  EXPECT_EQ(first, 48u + 128);
+  EXPECT_EQ(second, 80u + 128);
+  EXPECT_EQ(channel.busy_until(), 80u);
+}
+
+TEST(DramChannelTest, BanksOverlapIssueGaps) {
+  DramConfig config = TestConfig();
+  config.num_banks = 4;
+  DramChannel banked(config);
+  DramChannel serial(TestConfig());
+  // Four single-beat requests: banked issues them concurrently and is
+  // bus-bound; serial pays four full issue gaps.
+  Cycle banked_done = 0, serial_done = 0;
+  for (int i = 0; i < 4; ++i) {
+    banked_done = std::max(banked_done, banked.Access(0, 1));
+    serial_done = std::max(serial_done, serial.Access(0, 1));
+  }
+  EXPECT_LT(banked_done, serial_done);
+  EXPECT_EQ(banked_done, 16u + 4 + 128);   // shared bus: 4 beats after gap
+  EXPECT_EQ(serial_done, 3u * 16 + 16 + 1 + 128);
+}
+
+TEST(DramChannelTest, IdleGapAdvancesStart) {
+  DramChannel channel(TestConfig());
+  channel.Access(0, 16);  // issue 0..16, bus 16..32
+  const Cycle done = channel.Access(1000, 16);
+  EXPECT_EQ(done, 1000u + 16 + 16 + 128);
+}
+
+TEST(DramChannelTest, StatsAccumulate) {
+  DramChannel channel(TestConfig());
+  channel.Access(0, 4);
+  channel.Access(0, 8);
+  channel.ReportUseful(100);
+  const DramStats& stats = channel.stats();
+  EXPECT_EQ(stats.requests, 2u);
+  EXPECT_EQ(stats.beats, 12u);
+  EXPECT_EQ(stats.bytes, 12u * 64);
+  EXPECT_EQ(stats.busy_cycles, 12u);  // bus transfer cycles (4 + 8 beats)
+  EXPECT_EQ(stats.useful_bytes, 100u);
+  channel.ResetStats();
+  EXPECT_EQ(channel.stats().requests, 0u);
+}
+
+TEST(DramChannelTest, EfficiencyDeratesOccupancy) {
+  DramConfig config = TestConfig();
+  config.efficiency = 0.5;
+  DramChannel channel(config);
+  // 32 beats at 50% efficiency occupy 64 cycles.
+  EXPECT_EQ(channel.RequestOccupancy(32), 64u);
+}
+
+}  // namespace
+}  // namespace lightrw::hwsim

@@ -1,0 +1,136 @@
+// Robustness of all file readers against corrupted inputs: random bytes,
+// truncations at every prefix length, and hostile headers must produce
+// error Statuses, never crashes or invalid graphs.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analytics/corpus_io.h"
+#include "analytics/embedding.h"
+#include "graph/builder.h"
+#include "graph/io.h"
+#include "rng/rng.h"
+
+namespace lightrw {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/lightrw_fuzz_" + name;
+}
+
+void WriteBytes(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  if (!bytes.empty()) {
+    ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  }
+  std::fclose(f);
+}
+
+std::vector<uint8_t> RandomBytes(size_t n, uint64_t seed) {
+  rng::Xoshiro256StarStar gen(seed);
+  std::vector<uint8_t> bytes(n);
+  for (auto& b : bytes) {
+    b = static_cast<uint8_t>(gen.NextBounded(256));
+  }
+  return bytes;
+}
+
+class IoFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IoFuzzTest, BinaryGraphReaderSurvivesRandomBytes) {
+  const std::string path = TempPath("graph_rand.bin");
+  WriteBytes(path, RandomBytes(512, GetParam()));
+  const auto result = graph::ReadBinary(path);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_P(IoFuzzTest, CorpusReaderSurvivesRandomBytes) {
+  const std::string path = TempPath("corpus_rand.bin");
+  WriteBytes(path, RandomBytes(512, GetParam() ^ 0xff));
+  EXPECT_FALSE(analytics::ReadCorpusBinary(path).ok());
+}
+
+TEST_P(IoFuzzTest, EmbeddingReaderSurvivesRandomBytes) {
+  const std::string path = TempPath("embed_rand.bin");
+  WriteBytes(path, RandomBytes(512, GetParam() ^ 0xabc));
+  EXPECT_FALSE(analytics::ReadEmbedding(path).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IoFuzzTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(IoTruncationTest, BinaryGraphEveryPrefixRejected) {
+  // Write a small valid graph, then try loading every strict prefix.
+  graph::GraphBuilder builder(4, false);
+  builder.AddEdge(0, 1, 2, 1);
+  builder.AddEdge(1, 2, 3, 0);
+  builder.AddEdge(2, 3, 1, 2);
+  const graph::CsrGraph g = std::move(builder).Build();
+  const std::string full_path = TempPath("graph_full.bin");
+  ASSERT_TRUE(graph::WriteBinary(g, full_path).ok());
+
+  std::FILE* f = std::fopen(full_path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::vector<uint8_t> bytes(1 << 12);
+  const size_t total = std::fread(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  bytes.resize(total);
+
+  const std::string trunc_path = TempPath("graph_trunc.bin");
+  for (size_t cut = 0; cut < total; cut += 3) {
+    WriteBytes(trunc_path,
+               std::vector<uint8_t>(bytes.begin(), bytes.begin() + cut));
+    EXPECT_FALSE(graph::ReadBinary(trunc_path).ok()) << "cut=" << cut;
+  }
+  // The full file still loads.
+  EXPECT_TRUE(graph::ReadBinary(full_path).ok());
+}
+
+TEST(IoTruncationTest, CorpusEveryPrefixRejected) {
+  baseline::WalkOutput corpus;
+  corpus.vertices = {1, 2, 3, 4, 5};
+  corpus.offsets = {0, 2, 5};
+  const std::string full_path = TempPath("corpus_full.bin");
+  ASSERT_TRUE(analytics::WriteCorpusBinary(corpus, full_path).ok());
+
+  std::FILE* f = std::fopen(full_path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::vector<uint8_t> bytes(1 << 10);
+  const size_t total = std::fread(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  bytes.resize(total);
+
+  const std::string trunc_path = TempPath("corpus_trunc.bin");
+  for (size_t cut = 0; cut < total; ++cut) {
+    WriteBytes(trunc_path,
+               std::vector<uint8_t>(bytes.begin(), bytes.begin() + cut));
+    EXPECT_FALSE(analytics::ReadCorpusBinary(trunc_path).ok())
+        << "cut=" << cut;
+  }
+  EXPECT_TRUE(analytics::ReadCorpusBinary(full_path).ok());
+}
+
+TEST(IoHostileTest, EdgeListWithHugeNumbers) {
+  const std::string path = TempPath("huge.txt");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("99999999999999999999 1\n", f);
+  std::fclose(f);
+  EXPECT_FALSE(graph::ReadEdgeList(path, false).ok());
+}
+
+TEST(IoHostileTest, MatrixMarketHeaderOnly) {
+  const std::string path = TempPath("header_only.mtx");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("%%MatrixMarket matrix coordinate pattern general\n", f);
+  std::fclose(f);
+  EXPECT_FALSE(graph::ReadMatrixMarket(path).ok());
+}
+
+}  // namespace
+}  // namespace lightrw

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "lightrw/config_validation.h"
+#include "lightrw/platform_models.h"
+
+namespace lightrw::core {
+namespace {
+
+TEST(PowerModelTest, FpgaWithinPaperRange) {
+  PowerModel model;
+  for (const graph::Dataset d : graph::kAllDatasets) {
+    const auto& info = graph::GetDatasetInfo(d);
+    const double metapath =
+        model.FpgaWatts(4, info.num_edges, /*memory_heavy=*/false);
+    const double node2vec =
+        model.FpgaWatts(4, info.num_edges, /*memory_heavy=*/true);
+    EXPECT_GE(metapath, 41.0 - 1.0) << info.name;
+    EXPECT_LE(metapath, 45.0 + 1.0) << info.name;
+    EXPECT_GE(node2vec, 39.0 - 1.0) << info.name;
+    EXPECT_LE(node2vec, 42.0 + 1.5) << info.name;
+  }
+}
+
+TEST(PowerModelTest, CpuWithinPaperRange) {
+  PowerModel model;
+  for (const graph::Dataset d : graph::kAllDatasets) {
+    const auto& info = graph::GetDatasetInfo(d);
+    const double metapath = model.CpuWatts(info.num_edges, false);
+    const double node2vec = model.CpuWatts(info.num_edges, true);
+    EXPECT_GE(metapath, 103.0 - 1.0) << info.name;
+    EXPECT_LE(metapath, 124.0 + 1.0) << info.name;
+    EXPECT_GE(node2vec, 110.0 - 1.0) << info.name;
+    EXPECT_LE(node2vec, 126.0 + 1.0) << info.name;
+  }
+}
+
+TEST(PowerModelTest, LargerGraphsDrawMorePower) {
+  PowerModel model;
+  const uint64_t small = graph::GetDatasetInfo(graph::Dataset::kYoutube).num_edges;
+  const uint64_t large = graph::GetDatasetInfo(graph::Dataset::kUk2002).num_edges;
+  EXPECT_LT(model.CpuWatts(small, false), model.CpuWatts(large, false));
+  EXPECT_LT(model.FpgaWatts(4, small, false), model.FpgaWatts(4, large, false));
+}
+
+TEST(PcieModelTest, TransferSecondsScaleWithBytes) {
+  PcieModel model;
+  EXPECT_LT(model.TransferSeconds(1 << 10), model.TransferSeconds(1 << 30));
+  // Latency floor for tiny transfers.
+  EXPECT_GE(model.TransferSeconds(1), model.per_transfer_latency_sec);
+  // 12 GB at 12 GB/s is about one second.
+  EXPECT_NEAR(model.TransferSeconds(12e9), 1.0, 0.01);
+}
+
+TEST(PcieModelTest, RunBytesComposition) {
+  const graph::CsrGraph g =
+      graph::MakeDatasetStandIn(graph::Dataset::kYoutube, 10, 3);
+  PcieModel model;
+  const uint64_t one_instance = model.RunBytes(g, 1, 1000, 80);
+  const uint64_t four_instances = model.RunBytes(g, 4, 1000, 80);
+  // Each instance holds a private graph copy.
+  EXPECT_EQ(four_instances - one_instance, 3 * g.ModeledByteSize());
+  // Longer walks return more result data.
+  EXPECT_GT(model.RunBytes(g, 1, 1000, 80), model.RunBytes(g, 1, 1000, 5));
+}
+
+TEST(ResourceUsageTest, Arithmetic) {
+  ResourceUsage a{10, 20, 3, 4};
+  const ResourceUsage b = a * 2;
+  EXPECT_EQ(b.luts, 20u);
+  EXPECT_EQ(b.dsps, 8u);
+  a += b;
+  EXPECT_EQ(a.luts, 30u);
+  EXPECT_EQ(a.regs, 60u);
+  EXPECT_EQ(a.brams, 9u);
+}
+
+AcceleratorConfig MetaPathConfig() {
+  AcceleratorConfig config;
+  config.sampler_parallelism = 16;
+  config.num_instances = 4;
+  return config;
+}
+
+AcceleratorConfig Node2VecConfig() {
+  AcceleratorConfig config;
+  config.sampler_parallelism = 8;
+  config.num_instances = 4;
+  config.prev_neighbor_buffer_edges = 65536;
+  return config;
+}
+
+TEST(ResourceModelTest, FitsOnDevice) {
+  ResourceModel model;
+  for (const bool needs_prev : {false, true}) {
+    const AcceleratorConfig config =
+        needs_prev ? Node2VecConfig() : MetaPathConfig();
+    const ResourceUsage total = model.TotalUsage(config, needs_prev);
+    EXPECT_LT(model.LutPercent(total), 100.0);
+    EXPECT_LT(model.BramPercent(total), 100.0);
+    EXPECT_LT(model.DspPercent(total), 100.0);
+    EXPECT_LT(model.RegPercent(total), 100.0);
+  }
+}
+
+TEST(ResourceModelTest, Table5Shapes) {
+  // The relative shape of the paper's Table 5: MetaPath is LUT/DSP-heavier
+  // (wide relation matchers); Node2Vec is BRAM-heavier (previous-adjacency
+  // buffer); both leave most of the U250 free.
+  ResourceModel model;
+  const ResourceUsage metapath = model.TotalUsage(MetaPathConfig(), false);
+  const ResourceUsage node2vec = model.TotalUsage(Node2VecConfig(), true);
+  EXPECT_GT(model.LutPercent(metapath), model.LutPercent(node2vec));
+  EXPECT_GT(model.BramPercent(node2vec), model.BramPercent(metapath));
+  EXPECT_GT(model.DspPercent(metapath), model.DspPercent(node2vec));
+  EXPECT_LT(model.LutPercent(metapath), 50.0);
+  EXPECT_LT(model.BramPercent(node2vec), 50.0);
+  EXPECT_LT(model.DspPercent(metapath), 10.0);
+}
+
+TEST(ResourceModelTest, ScalesWithParallelism) {
+  ResourceModel model;
+  AcceleratorConfig small = MetaPathConfig();
+  small.sampler_parallelism = 4;
+  AcceleratorConfig big = MetaPathConfig();
+  big.sampler_parallelism = 32;
+  const auto u_small = model.InstanceUsage(small, false);
+  const auto u_big = model.InstanceUsage(big, false);
+  EXPECT_GT(u_big.luts, u_small.luts);
+  EXPECT_GT(u_big.dsps, u_small.dsps);
+}
+
+TEST(ResourceModelTest, CacheContributesBram) {
+  ResourceModel model;
+  AcceleratorConfig with_cache = MetaPathConfig();
+  AcceleratorConfig no_cache = MetaPathConfig();
+  no_cache.cache_kind = CacheKind::kNone;
+  EXPECT_GT(model.InstanceUsage(with_cache, false).brams,
+            model.InstanceUsage(no_cache, false).brams);
+}
+
+TEST(ConfigValidationTest, DefaultConfigsValid) {
+  EXPECT_TRUE(ValidateConfig(MetaPathConfig(), false).ok());
+  EXPECT_TRUE(ValidateConfig(Node2VecConfig(), true).ok());
+  EXPECT_TRUE(ValidateConfig(AcceleratorConfig{}, false).ok());
+}
+
+TEST(ConfigValidationTest, RejectsNonPowerOfTwoLanes) {
+  AcceleratorConfig config;
+  config.sampler_parallelism = 12;
+  const Status status = ValidateConfig(config, false);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ConfigValidationTest, RejectsTooManyLanes) {
+  AcceleratorConfig config;
+  config.sampler_parallelism = 128;
+  EXPECT_FALSE(ValidateConfig(config, false).ok());
+}
+
+TEST(ConfigValidationTest, RejectsBadCacheSize) {
+  AcceleratorConfig config;
+  config.cache_entries = 1000;  // not a power of two
+  EXPECT_FALSE(ValidateConfig(config, false).ok());
+  config.cache_kind = CacheKind::kNone;  // no cache: size ignored
+  EXPECT_TRUE(ValidateConfig(config, false).ok());
+}
+
+TEST(ConfigValidationTest, RejectsDegenerateBurstStrategy) {
+  AcceleratorConfig config;
+  config.burst = BurstStrategy{0, 32};
+  EXPECT_FALSE(ValidateConfig(config, false).ok());
+  config.burst = BurstStrategy{4, 2};  // long <= short
+  EXPECT_FALSE(ValidateConfig(config, false).ok());
+  config.burst = BurstStrategy{4, 0};  // long disabled is fine
+  EXPECT_TRUE(ValidateConfig(config, false).ok());
+}
+
+TEST(ConfigValidationTest, RejectsTooManyInstances) {
+  AcceleratorConfig config;
+  config.num_instances = 8;
+  EXPECT_FALSE(ValidateConfig(config, false).ok());
+}
+
+TEST(ConfigValidationTest, RejectsOversizedOnChipStructures) {
+  // A previous-adjacency buffer of 2^24 edges needs far more BRAM than
+  // the U250 has.
+  AcceleratorConfig config;
+  config.prev_neighbor_buffer_edges = 1u << 24;
+  const Status status = ValidateConfig(config, /*needs_prev=*/true);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace lightrw::core

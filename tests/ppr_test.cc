@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "analytics/ppr.h"
+#include "apps/ppr.h"
+#include "baseline/engine.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "lightrw/cycle_engine.h"
+#include "lightrw/functional_engine.h"
+
+namespace lightrw {
+namespace {
+
+using analytics::EstimatePprFromWalks;
+using analytics::ExactPpr;
+using analytics::L1Distance;
+using analytics::TopKIndices;
+using apps::PprApp;
+using apps::WalkQuery;
+using graph::CsrGraph;
+using graph::VertexId;
+
+TEST(PprAppTest, StopProbabilityExposed) {
+  PprApp app(0.15);
+  EXPECT_DOUBLE_EQ(app.stop_probability(), 0.15);
+  EXPECT_DOUBLE_EQ(app.alpha(), 0.15);
+  EXPECT_EQ(app.name(), "PPR");
+  EXPECT_FALSE(app.needs_prev_neighbors());
+}
+
+TEST(PprAppTest, WeightIsStatic) {
+  graph::GraphBuilder builder(2, false);
+  builder.AddEdge(0, 1, 7);
+  const CsrGraph g = std::move(builder).Build();
+  PprApp app(0.2);
+  apps::WalkState state;
+  EXPECT_EQ(app.DynamicWeight(g, state, 1, 7, 0), 7u);
+}
+
+TEST(ExactPprTest, SumsToOne) {
+  const CsrGraph g = graph::MakeDatasetStandIn(graph::Dataset::kYoutube,
+                                               /*scale_shift=*/11, 3);
+  const auto ppr = ExactPpr(g, 0, 0.15);
+  double total = 0.0;
+  for (const double x : ppr) {
+    EXPECT_GE(x, 0.0);
+    total += x;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ExactPprTest, IsolatedSourceKeepsAllMass) {
+  graph::GraphBuilder builder(3, false);
+  builder.AddEdge(1, 2);
+  const CsrGraph g = std::move(builder).Build();
+  const auto ppr = ExactPpr(g, /*source=*/0, 0.15);
+  EXPECT_DOUBLE_EQ(ppr[0], 1.0);
+}
+
+TEST(ExactPprTest, TwoCycleSplitsMass) {
+  // 0 <-> 1: after an odd number of steps the walker is at 1, after an
+  // even number (>0) at 0. P(stop after t steps) = a(1-a)^(t-1).
+  graph::GraphBuilder builder(2, false);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 0);
+  const CsrGraph g = std::move(builder).Build();
+  const double a = 0.3;
+  const auto ppr = ExactPpr(g, 0, a, 1e-14, 2000);
+  // P(end at 1) = sum over odd t of a(1-a)^{t-1} = a / (1 - (1-a)^2)...
+  const double q = 1.0 - a;
+  const double at1 = a / (1.0 - q * q);
+  EXPECT_NEAR(ppr[1], at1, 1e-9);
+  EXPECT_NEAR(ppr[0], 1.0 - at1, 1e-9);
+}
+
+TEST(PprMonteCarloTest, FunctionalEngineMatchesExact) {
+  const CsrGraph g = graph::MakeDatasetStandIn(graph::Dataset::kYoutube,
+                                               /*scale_shift=*/11, 7);
+  const double alpha = 0.2;
+  PprApp app(alpha);
+  VertexId source = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (g.Degree(v) > g.Degree(source)) {
+      source = v;
+    }
+  }
+  const std::vector<WalkQuery> queries(60000, WalkQuery{source, 128});
+  core::AcceleratorConfig config;
+  config.seed = 5;
+  core::FunctionalEngine engine(&g, &app, config);
+  baseline::WalkOutput walks;
+  engine.Run(queries, &walks);
+  const auto estimate = EstimatePprFromWalks(walks, g.num_vertices());
+  const auto exact = ExactPpr(g, source, alpha);
+  EXPECT_LT(L1Distance(estimate, exact), 0.12);
+}
+
+TEST(PprMonteCarloTest, BaselineEngineMatchesExact) {
+  const CsrGraph g = graph::MakeDatasetStandIn(graph::Dataset::kYoutube,
+                                               /*scale_shift=*/11, 7);
+  const double alpha = 0.2;
+  PprApp app(alpha);
+  const std::vector<WalkQuery> queries(60000, WalkQuery{0, 128});
+  baseline::BaselineEngine engine(&g, &app, baseline::BaselineConfig{});
+  baseline::WalkOutput walks;
+  engine.Run(queries, &walks);
+  const auto estimate = EstimatePprFromWalks(walks, g.num_vertices());
+  const auto exact = ExactPpr(g, 0, alpha);
+  EXPECT_LT(L1Distance(estimate, exact), 0.12);
+}
+
+TEST(PprMonteCarloTest, CycleEngineAverageWalkLengthGeometric) {
+  const CsrGraph g = graph::MakeDatasetStandIn(graph::Dataset::kYoutube,
+                                               /*scale_shift=*/11, 7);
+  const double alpha = 0.25;
+  PprApp app(alpha);
+  // Use high-degree starts so dead ends are rare and the expected walk
+  // length approaches the geometric mean 1/alpha.
+  VertexId source = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (g.Degree(v) > g.Degree(source)) {
+      source = v;
+    }
+  }
+  const std::vector<WalkQuery> queries(20000, WalkQuery{source, 256});
+  core::AcceleratorConfig config;
+  config.num_instances = 1;
+  core::CycleEngine engine(&g, &app, config);
+  const auto stats = engine.Run(queries);
+  const double avg_steps =
+      static_cast<double>(stats.steps) / static_cast<double>(stats.queries);
+  EXPECT_NEAR(avg_steps, 1.0 / alpha, 0.6);
+}
+
+TEST(PprMonteCarloTest, ShorterWalksWithHigherAlpha) {
+  const CsrGraph g = graph::MakeDatasetStandIn(graph::Dataset::kYoutube,
+                                               /*scale_shift=*/11, 7);
+  const std::vector<WalkQuery> queries(5000, WalkQuery{0, 256});
+  core::AcceleratorConfig config;
+  PprApp fast_stop(0.5);
+  PprApp slow_stop(0.05);
+  const auto fast =
+      core::FunctionalEngine(&g, &fast_stop, config).Run(queries);
+  const auto slow =
+      core::FunctionalEngine(&g, &slow_stop, config).Run(queries);
+  EXPECT_LT(fast.steps, slow.steps);
+}
+
+TEST(TopKIndicesTest, OrdersByScore) {
+  const std::vector<double> scores = {0.1, 0.5, 0.3, 0.5, 0.0};
+  const auto top = TopKIndices(scores, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0], 1u);  // ties broken by index
+  EXPECT_EQ(top[1], 3u);
+  EXPECT_EQ(top[2], 2u);
+}
+
+TEST(L1DistanceTest, Basics) {
+  EXPECT_DOUBLE_EQ(L1Distance({0.5, 0.5}, {0.5, 0.5}), 0.0);
+  EXPECT_DOUBLE_EQ(L1Distance({1.0, 0.0}, {0.0, 1.0}), 2.0);
+}
+
+}  // namespace
+}  // namespace lightrw

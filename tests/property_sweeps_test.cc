@@ -1,0 +1,161 @@
+// Randomized property sweeps across modules: CSR structural invariants
+// over random generator configurations, cross-sampler distribution
+// agreement over random weight vectors, and burst-plan conservation over
+// random strategies. Parameterized by seed so each instantiation explores
+// a different random instance deterministically.
+
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "lightrw/burst_engine.h"
+#include "rng/rng.h"
+#include "rng/stat_tests.h"
+#include "sampling/alias.h"
+#include "sampling/inverse_transform.h"
+#include "sampling/parallel_wrs.h"
+
+namespace lightrw {
+namespace {
+
+class SeededProperty : public ::testing::TestWithParam<uint64_t> {};
+
+// --- CSR structural invariants over random RMAT instances ------------------
+
+TEST_P(SeededProperty, CsrInvariantsHold) {
+  const uint64_t seed = GetParam();
+  rng::Xoshiro256StarStar gen(seed);
+  graph::RmatOptions options;
+  options.scale = 6 + static_cast<uint32_t>(gen.NextBounded(6));
+  options.edge_factor = 2 + static_cast<uint32_t>(gen.NextBounded(14));
+  options.undirected = gen.NextBounded(2) == 0;
+  options.seed = seed;
+  const graph::CsrGraph g = graph::GenerateRmat(options);
+
+  // row_index is monotone, covers col arrays exactly, degrees match.
+  const auto row = g.row_index();
+  ASSERT_EQ(row.size(), g.num_vertices() + 1u);
+  EXPECT_EQ(row.front(), 0u);
+  EXPECT_EQ(row.back(), g.num_edges());
+  uint64_t total_degree = 0;
+  uint32_t max_degree = 0;
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_LE(row[v], row[v + 1]);
+    const auto neighbors = g.Neighbors(v);
+    total_degree += neighbors.size();
+    max_degree = std::max(max_degree,
+                          static_cast<uint32_t>(neighbors.size()));
+    // Sorted, unique, in range.
+    for (size_t i = 0; i < neighbors.size(); ++i) {
+      ASSERT_LT(neighbors[i], g.num_vertices());
+      if (i > 0) {
+        ASSERT_LT(neighbors[i - 1], neighbors[i]);
+      }
+    }
+  }
+  EXPECT_EQ(total_degree, g.num_edges());
+  EXPECT_EQ(max_degree, g.max_degree());
+
+  if (options.undirected) {
+    // Every edge has its reverse.
+    for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+      for (const graph::VertexId u : g.Neighbors(v)) {
+        ASSERT_TRUE(g.HasEdge(u, v)) << v << "->" << u;
+      }
+    }
+  }
+}
+
+// --- Cross-sampler agreement over random weight vectors --------------------
+
+TEST_P(SeededProperty, SamplersAgreeOnRandomWeights) {
+  const uint64_t seed = GetParam();
+  rng::Xoshiro256StarStar gen(seed);
+  const size_t n = 2 + gen.NextBounded(30);
+  std::vector<graph::Weight> weights(n);
+  size_t positive = 0;
+  for (auto& w : weights) {
+    // ~25% zero weights, rest in [1, 64].
+    w = gen.NextBounded(4) == 0
+            ? 0
+            : static_cast<graph::Weight>(1 + gen.NextBounded(64));
+    positive += w > 0 ? 1 : 0;
+  }
+  if (positive < 2) {
+    weights[0] = 3;
+    weights[n - 1] = 5;
+  }
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+
+  sampling::InverseTransformTable its;
+  its.Build(weights);
+  sampling::AliasTable alias;
+  alias.Build(weights);
+  rng::ThunderingRng trng(8, seed ^ 0xabcdULL);
+  sampling::ParallelWrsSampler pwrs(8, &trng);
+
+  constexpr int kTrials = 12000;
+  std::vector<uint64_t> its_counts(n, 0), alias_counts(n, 0),
+      pwrs_counts(n, 0);
+  for (int t = 0; t < kTrials; ++t) {
+    ++its_counts[its.Sample(gen.Next())];
+    ++alias_counts[alias.Sample(gen.Next(), gen.Next32())];
+    ++pwrs_counts[pwrs.SampleAll({weights.data(), weights.size()})];
+  }
+
+  auto check = [&](const std::vector<uint64_t>& counts, const char* name) {
+    std::vector<uint64_t> observed;
+    std::vector<double> expected;
+    for (size_t i = 0; i < n; ++i) {
+      if (weights[i] == 0) {
+        ASSERT_EQ(counts[i], 0u) << name << " sampled zero-weight item";
+      } else {
+        observed.push_back(counts[i]);
+        expected.push_back(kTrials * weights[i] / total);
+      }
+    }
+    if (observed.size() >= 2) {
+      const auto result = rng::ChiSquareTest(observed, expected);
+      EXPECT_GT(result.p_value, 1e-5)
+          << name << " deviates (chi2=" << result.statistic << ")";
+    }
+  };
+  check(its_counts, "its");
+  check(alias_counts, "alias");
+  check(pwrs_counts, "pwrs");
+}
+
+// --- Burst plan conservation over random strategies ------------------------
+
+TEST_P(SeededProperty, BurstPlansConserveBytes) {
+  const uint64_t seed = GetParam();
+  rng::Xoshiro256StarStar gen(seed);
+  constexpr uint32_t kBus = 64;
+  for (int i = 0; i < 200; ++i) {
+    core::BurstStrategy strategy;
+    strategy.short_beats = 1u << gen.NextBounded(3);       // 1, 2, 4
+    strategy.long_beats = gen.NextBounded(2) == 0
+                              ? 0
+                              : (1u << (2 + gen.NextBounded(5)));  // 4..64
+    const uint64_t bytes = 1 + gen.NextBounded(100000);
+    const core::BurstPlan plan =
+        core::PlanBursts(bytes, strategy, kBus);
+    ASSERT_GE(plan.loaded_bytes, bytes);
+    ASSERT_LT(plan.loaded_bytes - bytes,
+              static_cast<uint64_t>(strategy.short_beats) * kBus);
+    const uint64_t reconstructed =
+        static_cast<uint64_t>(plan.long_bursts) * strategy.long_beats *
+            kBus +
+        static_cast<uint64_t>(plan.short_bursts) * strategy.short_beats *
+            kBus;
+    ASSERT_EQ(reconstructed, plan.loaded_bytes);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace lightrw

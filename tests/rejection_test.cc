@@ -1,0 +1,119 @@
+#include <cmath>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "baseline/rejection.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+
+namespace lightrw::baseline {
+namespace {
+
+using graph::CsrGraph;
+using graph::VertexId;
+
+TEST(RejectionWalkerTest, DeadEndReturnsInvalid) {
+  graph::GraphBuilder builder(2, false);
+  builder.AddEdge(0, 1);
+  const CsrGraph g = std::move(builder).Build();
+  Node2VecRejectionWalker walker(&g, 2.0, 0.5, 1);
+  EXPECT_EQ(walker.SampleNext(1, 0), graph::kInvalidVertex);
+}
+
+TEST(RejectionWalkerTest, FirstStepMatchesStaticWeights) {
+  graph::GraphBuilder builder(4, false);
+  builder.AddEdge(0, 1, 1);
+  builder.AddEdge(0, 2, 2);
+  builder.AddEdge(0, 3, 7);
+  const CsrGraph g = std::move(builder).Build();
+  Node2VecRejectionWalker walker(&g, 2.0, 0.5, 3);
+  std::map<VertexId, int> counts;
+  constexpr int kTrials = 50000;
+  for (int t = 0; t < kTrials; ++t) {
+    ++counts[walker.SampleNext(0, graph::kInvalidVertex)];
+  }
+  EXPECT_NEAR(counts[1], kTrials * 0.1, 5 * std::sqrt(kTrials * 0.1));
+  EXPECT_NEAR(counts[2], kTrials * 0.2, 5 * std::sqrt(kTrials * 0.2));
+  EXPECT_NEAR(counts[3], kTrials * 0.7, 5 * std::sqrt(kTrials * 0.7));
+  EXPECT_DOUBLE_EQ(walker.TrialsPerSample(), 1.0);
+}
+
+TEST(RejectionWalkerTest, SecondOrderMatchesEquationTwo) {
+  // Same topology as the functional-engine second-order test: from 1 with
+  // prev 0, the Eq. (2) weights of {0, 2, 3} are {1/p, 1, 1/q}.
+  graph::GraphBuilder builder(4, false);
+  builder.AddEdge(0, 1, 1);
+  builder.AddEdge(0, 2, 1);
+  builder.AddEdge(1, 0, 1);
+  builder.AddEdge(1, 2, 1);
+  builder.AddEdge(1, 3, 1);
+  builder.AddEdge(2, 1, 1);
+  builder.AddEdge(3, 1, 1);
+  const CsrGraph g = std::move(builder).Build();
+
+  const double p = 2.0, q = 0.5;
+  Node2VecRejectionWalker walker(&g, p, q, 7);
+  std::map<VertexId, int> counts;
+  constexpr int kTrials = 90000;
+  for (int t = 0; t < kTrials; ++t) {
+    const VertexId next = walker.SampleNext(1, 0);
+    ASSERT_NE(next, graph::kInvalidVertex);
+    ++counts[next];
+  }
+  const double total = 0.5 + 1.0 + 2.0;
+  const auto expect_share = [&](VertexId v, double w) {
+    const double expected = kTrials * w / total;
+    EXPECT_NEAR(counts[v], expected, 5 * std::sqrt(expected)) << "v=" << v;
+  };
+  expect_share(0, 0.5);
+  expect_share(2, 1.0);
+  expect_share(3, 2.0);
+  // With scales {0.5, 1, 2} and s_max=2, the mean acceptance is
+  // (0.5/2 + 1/2 + 2/2)/3 = 7/12, so ~12/7 trials per sample.
+  EXPECT_NEAR(walker.TrialsPerSample(), 12.0 / 7.0, 0.05);
+}
+
+TEST(RejectionWalkerTest, UniformPandQNeverRejects) {
+  const CsrGraph g = graph::MakeDatasetStandIn(graph::Dataset::kYoutube,
+                                               /*scale_shift=*/11, 9);
+  Node2VecRejectionWalker walker(&g, 1.0, 1.0, 5);
+  VertexId curr = 0, prev = graph::kInvalidVertex;
+  for (int i = 0; i < 5000; ++i) {
+    const VertexId next = walker.SampleNext(curr, prev);
+    if (next == graph::kInvalidVertex) {
+      curr = static_cast<VertexId>(i % g.num_vertices());
+      prev = graph::kInvalidVertex;
+      continue;
+    }
+    prev = curr;
+    curr = next;
+  }
+  EXPECT_DOUBLE_EQ(walker.TrialsPerSample(), 1.0);
+}
+
+TEST(RejectionWalkerTest, WalksValidOnRealisticGraph) {
+  const CsrGraph g = graph::MakeDatasetStandIn(graph::Dataset::kLiveJournal,
+                                               /*scale_shift=*/11, 4);
+  Node2VecRejectionWalker walker(&g, 2.0, 0.5, 11);
+  VertexId curr = 0, prev = graph::kInvalidVertex;
+  int steps = 0;
+  for (int i = 0; i < 3000; ++i) {
+    const VertexId next = walker.SampleNext(curr, prev);
+    if (next == graph::kInvalidVertex) {
+      curr = static_cast<VertexId>((i * 7) % g.num_vertices());
+      prev = graph::kInvalidVertex;
+      continue;
+    }
+    ASSERT_TRUE(g.HasEdge(curr, next));
+    prev = curr;
+    curr = next;
+    ++steps;
+  }
+  EXPECT_GT(steps, 1000);
+  // p=2, q=0.5: s_max = 2, acceptance >= 0.25 -> at most 4 expected trials.
+  EXPECT_LT(walker.TrialsPerSample(), 4.0);
+}
+
+}  // namespace
+}  // namespace lightrw::baseline

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "rng/battery.h"
+#include "rng/rng.h"
+
+namespace lightrw::rng {
+namespace {
+
+constexpr size_t kSamples = 200000;
+
+TEST(BatteryTest, XoshiroPassesAllTests) {
+  Xoshiro256StarStar gen(123);
+  const auto result = RunBattery([&] { return gen.Next32(); }, kSamples);
+  for (const auto& test : result.tests) {
+    EXPECT_TRUE(test.passed) << test.name << " p=" << test.p_value;
+  }
+  EXPECT_TRUE(result.AllPassed());
+}
+
+TEST(BatteryTest, ThunderingStreamsPassAllTests) {
+  // Every decorrelated ThundeRiNG stream must look uniform on its own —
+  // the paper's TestU01 claim, checked with the lite battery.
+  ThunderingRng rng(4, 2024);
+  for (size_t stream = 0; stream < 4; ++stream) {
+    const auto result =
+        RunBattery([&] { return rng.Next(stream); }, kSamples);
+    EXPECT_TRUE(result.AllPassed()) << "stream " << stream;
+  }
+}
+
+TEST(BatteryTest, RawLcgHighBitsPassButCounterFails) {
+  // A pure counter is catastrophically non-random: the battery must
+  // reject it decisively.
+  uint32_t counter = 0;
+  const auto result = RunBattery([&] { return counter++; }, kSamples);
+  EXPECT_FALSE(result.AllPassed());
+  // Specifically the serial correlation and runs structure break.
+  bool serial_failed = false;
+  for (const auto& test : result.tests) {
+    if (test.name == "serial_correlation" || test.name == "runs") {
+      serial_failed |= !test.passed;
+    }
+  }
+  EXPECT_TRUE(serial_failed);
+}
+
+TEST(BatteryTest, ConstantSequenceFailsEverything) {
+  const auto result = RunBattery([] { return 0x12345678u; }, 4096);
+  for (const auto& test : result.tests) {
+    EXPECT_FALSE(test.passed) << test.name;
+  }
+}
+
+TEST(BatteryTest, BiasedBitsFailMonobit) {
+  // Clear the top 4 bits of every sample: a 12.5% deficit of ones.
+  Xoshiro256StarStar gen(5);
+  const auto result =
+      RunBattery([&] { return gen.Next32() & 0x0FFFFFFFu; }, 65536);
+  bool monobit_failed = false;
+  bool balance_failed = false;
+  for (const auto& test : result.tests) {
+    if (test.name == "monobit") {
+      monobit_failed = !test.passed;
+    }
+    if (test.name == "bit_balance") {
+      balance_failed = !test.passed;
+    }
+  }
+  EXPECT_TRUE(monobit_failed);
+  EXPECT_TRUE(balance_failed);
+}
+
+TEST(BatteryTest, LowEntropyNibblesFailPoker) {
+  // Restrict all nibbles to {0, 1}: the poker histogram collapses.
+  Xoshiro256StarStar gen(6);
+  const auto result =
+      RunBattery([&] { return gen.Next32() & 0x11111111u; }, 65536);
+  bool poker_failed = false;
+  for (const auto& test : result.tests) {
+    if (test.name == "poker") {
+      poker_failed = !test.passed;
+    }
+  }
+  EXPECT_TRUE(poker_failed);
+}
+
+TEST(BatteryTest, ReportsAllSixTests) {
+  Xoshiro256StarStar gen(9);
+  const auto result = RunBattery([&] { return gen.Next32(); }, 4096);
+  ASSERT_EQ(result.tests.size(), 6u);
+  EXPECT_EQ(result.tests[0].name, "monobit");
+  EXPECT_EQ(result.tests[3].name, "poker");
+}
+
+}  // namespace
+}  // namespace lightrw::rng

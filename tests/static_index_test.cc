@@ -1,0 +1,129 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baseline/static_index.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "rng/rng.h"
+#include "sampling/sampler.h"
+
+namespace lightrw::baseline {
+namespace {
+
+using graph::CsrGraph;
+using graph::VertexId;
+
+TEST(StaticWalkIndexTest, MatchesWeightDistributionPerVertex) {
+  graph::GraphBuilder builder(4, false);
+  builder.AddEdge(0, 1, 1);
+  builder.AddEdge(0, 2, 3);
+  builder.AddEdge(0, 3, 6);
+  builder.AddEdge(1, 0, 5);
+  const CsrGraph g = std::move(builder).Build();
+  StaticWalkIndex index(g);
+
+  rng::Xoshiro256StarStar gen(3);
+  constexpr int kTrials = 60000;
+  std::vector<int> counts(3, 0);
+  for (int t = 0; t < kTrials; ++t) {
+    const size_t slot = index.Sample(0, gen.Next(), gen.Next32());
+    ASSERT_LT(slot, 3u);
+    ++counts[slot];
+  }
+  EXPECT_NEAR(counts[0], kTrials * 0.1, 5 * std::sqrt(kTrials * 0.1));
+  EXPECT_NEAR(counts[1], kTrials * 0.3, 5 * std::sqrt(kTrials * 0.3));
+  EXPECT_NEAR(counts[2], kTrials * 0.6, 5 * std::sqrt(kTrials * 0.6));
+}
+
+TEST(StaticWalkIndexTest, IsolatedVertexHasNoSample) {
+  graph::GraphBuilder builder(2, false);
+  builder.AddEdge(0, 1);
+  const CsrGraph g = std::move(builder).Build();
+  StaticWalkIndex index(g);
+  EXPECT_EQ(index.Sample(1, 123, 456), sampling::kNoSample);
+  EXPECT_EQ(index.Sample(0, 123, 456), 0u);
+}
+
+TEST(StaticWalkIndexTest, SingleNeighborAlwaysSelected) {
+  graph::GraphBuilder builder(2, false);
+  builder.AddEdge(0, 1, 9);
+  const CsrGraph g = std::move(builder).Build();
+  StaticWalkIndex index(g);
+  rng::Xoshiro256StarStar gen(7);
+  for (int t = 0; t < 1000; ++t) {
+    EXPECT_EQ(index.Sample(0, gen.Next(), gen.Next32()), 0u);
+  }
+}
+
+TEST(StaticWalkIndexTest, MemoryProportionalToEdges) {
+  const CsrGraph g = graph::MakeDatasetStandIn(graph::Dataset::kYoutube,
+                                               /*scale_shift=*/11, 2);
+  StaticWalkIndex index(g);
+  EXPECT_EQ(index.num_vertices(), g.num_vertices());
+  // offsets (8B per vertex) + prob/alias (8B per edge).
+  const uint64_t expected = (g.num_vertices() + 1) * 8 + g.num_edges() * 8;
+  EXPECT_EQ(index.MemoryBytes(), expected);
+}
+
+TEST(StaticWalkIndexTest, AgreesWithPerStepAliasOnRandomGraph) {
+  // The flattened per-vertex tables must produce the same distribution as
+  // building sampling::AliasTable per step (cross-validated statistically
+  // on a nontrivial vertex).
+  graph::RmatOptions options;
+  options.scale = 8;
+  options.seed = 19;
+  const CsrGraph g = graph::GenerateRmat(options);
+  StaticWalkIndex index(g);
+
+  VertexId v = 0;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    if (g.Degree(u) > g.Degree(v)) {
+      v = u;
+    }
+  }
+  const auto weights = g.NeighborWeights(v);
+  uint64_t total = 0;
+  for (const auto w : weights) {
+    total += w;
+  }
+  rng::Xoshiro256StarStar gen(5);
+  constexpr int kTrials = 50000;
+  std::vector<int> counts(weights.size(), 0);
+  for (int t = 0; t < kTrials; ++t) {
+    const size_t slot = index.Sample(v, gen.Next(), gen.Next32());
+    ASSERT_LT(slot, weights.size());
+    ++counts[slot];
+  }
+  for (size_t i = 0; i < weights.size(); ++i) {
+    const double expected =
+        static_cast<double>(kTrials) * weights[i] / total;
+    EXPECT_NEAR(counts[i], expected, 5 * std::sqrt(expected) + 1)
+        << "slot " << i;
+  }
+}
+
+TEST(StaticWalkIndexTest, WalkLoopFasterThanDynamicEngineWork) {
+  // Not a wall-clock benchmark, just the structural property: sampling a
+  // step touches O(1) slots instead of streaming the whole adjacency.
+  const CsrGraph g = graph::MakeDatasetStandIn(graph::Dataset::kLiveJournal,
+                                               /*scale_shift=*/11, 2);
+  StaticWalkIndex index(g);
+  rng::Xoshiro256StarStar gen(11);
+  VertexId curr = 0;
+  uint64_t steps = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const size_t slot = index.Sample(curr, gen.Next(), gen.Next32());
+    if (slot == sampling::kNoSample) {
+      curr = static_cast<VertexId>(gen.NextBounded(g.num_vertices()));
+      continue;
+    }
+    curr = g.Neighbors(curr)[slot];
+    ++steps;
+  }
+  EXPECT_GT(steps, 5000u);
+}
+
+}  // namespace
+}  // namespace lightrw::baseline

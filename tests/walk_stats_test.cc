@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "analytics/walk_stats.h"
+#include "apps/walk_app.h"
+#include "apps/weighted_metapath.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "lightrw/functional_engine.h"
+
+namespace lightrw::analytics {
+namespace {
+
+using baseline::WalkOutput;
+
+WalkOutput MakeCorpus() {
+  WalkOutput corpus;
+  corpus.vertices = {0, 1, 2,   // 2 hops
+                     3,         // 0 hops
+                     0, 1};     // 1 hop
+  corpus.offsets = {0, 3, 4, 6};
+  return corpus;
+}
+
+TEST(WalkStatsTest, BasicStats) {
+  const CorpusStats stats = ComputeCorpusStats(MakeCorpus(), 5);
+  EXPECT_EQ(stats.num_walks, 3u);
+  EXPECT_EQ(stats.total_vertices, 6u);
+  EXPECT_DOUBLE_EQ(stats.mean_length, 1.0);
+  EXPECT_EQ(stats.max_length, 2u);
+  EXPECT_EQ(stats.min_length, 0u);
+  EXPECT_DOUBLE_EQ(stats.coverage, 4.0 / 5.0);  // vertex 4 never visited
+}
+
+TEST(WalkStatsTest, VisitCounts) {
+  const auto counts = VisitCounts(MakeCorpus(), 5);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(counts[4], 0u);
+}
+
+TEST(WalkStatsTest, LengthHistogram) {
+  const auto histogram = LengthHistogram(MakeCorpus(), 2);
+  ASSERT_EQ(histogram.size(), 3u);
+  EXPECT_EQ(histogram[0], 1u);  // the 0-hop walk
+  EXPECT_EQ(histogram[1], 1u);
+  EXPECT_EQ(histogram[2], 1u);
+}
+
+TEST(WalkStatsTest, OverflowBucketCollectsLongWalks) {
+  const auto histogram = LengthHistogram(MakeCorpus(), 1);
+  ASSERT_EQ(histogram.size(), 2u);
+  EXPECT_EQ(histogram[0], 1u);
+  EXPECT_EQ(histogram[1], 2u);  // 1-hop and 2-hop walks overflow
+}
+
+TEST(WalkStatsTest, EmptyCorpus) {
+  const CorpusStats stats = ComputeCorpusStats(WalkOutput{}, 10);
+  EXPECT_EQ(stats.num_walks, 0u);
+  EXPECT_DOUBLE_EQ(stats.coverage, 0.0);
+}
+
+TEST(WalkStatsTest, SkewTrackedOnRealCorpus) {
+  const graph::CsrGraph g = graph::MakeDatasetStandIn(
+      graph::Dataset::kLiveJournal, /*scale_shift=*/11, 3);
+  apps::StaticWalkApp app;
+  core::AcceleratorConfig config;
+  core::FunctionalEngine engine(&g, &app, config);
+  const auto queries = apps::MakeVertexQueries(g, 20, 1);
+  WalkOutput corpus;
+  engine.Run(queries, &corpus);
+  const CorpusStats stats = ComputeCorpusStats(corpus, g.num_vertices());
+  EXPECT_GT(stats.coverage, 0.5);
+  // Power-law visit concentration: the hot 1% get far more than 1%.
+  EXPECT_GT(stats.top1pct_visit_share, 0.05);
+  EXPECT_LE(stats.top1pct_visit_share, 1.0);
+}
+
+}  // namespace
+}  // namespace lightrw::analytics
+
+namespace lightrw::apps {
+namespace {
+
+graph::CsrGraph MakeRelationGraph() {
+  graph::GraphBuilder builder(3, false);
+  builder.AddEdge(0, 1, /*weight=*/2, /*relation=*/1);
+  builder.AddEdge(0, 2, /*weight=*/2, /*relation=*/2);
+  return std::move(builder).Build();
+}
+
+TEST(WeightedMetaPathTest, BinaryTablesMatchPlainMetaPath) {
+  const graph::CsrGraph g = MakeRelationGraph();
+  const std::vector<graph::Relation> path = {1, 2};
+  const MetaPathApp plain(path);
+  const auto weighted = WeightedMetaPathApp::FromRelationPath(path);
+  WalkState state;
+  state.curr = 0;
+  for (uint32_t step = 0; step < 3; ++step) {
+    state.step = step;
+    for (graph::VertexId dst : {1u, 2u}) {
+      for (graph::Relation r : {1, 2}) {
+        EXPECT_EQ(plain.DynamicWeight(g, state, dst, 2, r),
+                  weighted.DynamicWeight(g, state, dst, 2, r))
+            << "step " << step << " rel " << int(r);
+      }
+    }
+  }
+}
+
+TEST(WeightedMetaPathTest, GradedRelationWeights) {
+  const graph::CsrGraph g = MakeRelationGraph();
+  WeightedMetaPathApp::RelationTable table{};
+  table[1] = 3;  // prefer relation 1 3:1 over relation 2
+  table[2] = 1;
+  WeightedMetaPathApp app({table});
+  WalkState state;
+  state.step = 0;
+  EXPECT_EQ(app.DynamicWeight(g, state, 1, 2, 1), 6u);
+  EXPECT_EQ(app.DynamicWeight(g, state, 2, 2, 2), 2u);
+  EXPECT_EQ(app.DynamicWeight(g, state, 2, 2, 0), 0u);
+  state.step = 1;  // beyond the path
+  EXPECT_EQ(app.DynamicWeight(g, state, 1, 2, 1), 0u);
+}
+
+TEST(WeightedMetaPathTest, PathLength) {
+  const auto app = WeightedMetaPathApp::FromRelationPath({1, 2, 1});
+  EXPECT_EQ(app.path_length(), 3u);
+  EXPECT_EQ(app.name(), "WeightedMetaPath");
+}
+
+}  // namespace
+}  // namespace lightrw::apps

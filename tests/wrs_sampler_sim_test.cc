@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "lightrw/wrs_sampler_sim.h"
+
+namespace lightrw::core {
+namespace {
+
+hwsim::DramConfig PaperDram() { return hwsim::DramConfig{}; }
+
+TEST(WrsSamplerSimTest, ThroughputLinearInSmallK) {
+  // Below memory saturation, doubling k doubles throughput (Fig. 10a's
+  // linear region).
+  const WrsSamplerSimResult k1 =
+      WrsSamplerSim(1, PaperDram(), 3).RunStream(1 << 16);
+  const WrsSamplerSimResult k2 =
+      WrsSamplerSim(2, PaperDram(), 3).RunStream(1 << 16);
+  const WrsSamplerSimResult k4 =
+      WrsSamplerSim(4, PaperDram(), 3).RunStream(1 << 16);
+  EXPECT_NEAR(k2.items_per_second / k1.items_per_second, 2.0, 0.05);
+  EXPECT_NEAR(k4.items_per_second / k1.items_per_second, 4.0, 0.1);
+}
+
+TEST(WrsSamplerSimTest, SaturatesAtMemoryBandwidth) {
+  // At k=16 the sampler hits the DRAM line rate (~17.57 GB/s of 4-byte
+  // weights); k=32 gains nothing (Fig. 10a's plateau).
+  const WrsSamplerSimResult k16 =
+      WrsSamplerSim(16, PaperDram(), 3).RunStream(1 << 18);
+  const WrsSamplerSimResult k32 =
+      WrsSamplerSim(32, PaperDram(), 3).RunStream(1 << 18);
+  EXPECT_NEAR(k16.bytes_per_second / 1e9, 17.57, 0.5);
+  EXPECT_NEAR(k32.items_per_second / k16.items_per_second, 1.0, 0.02);
+}
+
+TEST(WrsSamplerSimTest, MatchesTheoreticalBelowSaturation) {
+  for (uint32_t k : {1u, 2u, 4u, 8u}) {
+    WrsSamplerSim sim(k, PaperDram(), 3);
+    const auto result = sim.RunStream(1 << 18);
+    EXPECT_NEAR(result.items_per_second / sim.TheoreticalItemsPerSecond(),
+                1.0, 0.02)
+        << "k=" << k;
+  }
+}
+
+TEST(WrsSamplerSimTest, ShortStreamsPayPipelineFill) {
+  // Fig. 10b: small workloads fall below line rate because of the pipeline
+  // initialization; the gap shrinks monotonically with stream length and
+  // becomes negligible for large streams.
+  WrsSamplerSim sim(16, PaperDram(), 3);
+  double prev = 0.0;
+  for (uint64_t n = 1 << 6; n <= 1 << 16; n <<= 2) {
+    const auto result = sim.RunStream(n);
+    EXPECT_GT(result.items_per_second, prev) << "n=" << n;
+    prev = result.items_per_second;
+  }
+  // At 2^16 items the throughput is within 5% of the memory line rate.
+  const double line_rate = sim.MemoryItemsPerCycle() * 300e6;
+  EXPECT_GT(prev, 0.95 * line_rate);
+}
+
+TEST(WrsSamplerSimTest, SelectsAnItem) {
+  WrsSamplerSim sim(8, PaperDram(), 9);
+  const auto result = sim.RunStream(1000);
+  EXPECT_LT(result.selected, 1000u);
+  EXPECT_EQ(result.items, 1000u);
+  EXPECT_GT(result.cycles, 0u);
+}
+
+TEST(WrsSamplerSimTest, DeterministicPerSeed) {
+  const auto a = WrsSamplerSim(8, PaperDram(), 5).RunStream(5000);
+  const auto b = WrsSamplerSim(8, PaperDram(), 5).RunStream(5000);
+  EXPECT_EQ(a.selected, b.selected);
+  EXPECT_EQ(a.cycles, b.cycles);
+}
+
+TEST(WrsSamplerSimTest, MemoryItemsPerCycle) {
+  WrsSamplerSim sim(16, PaperDram(), 1);
+  // 64 B * 0.915 / 4 B = 14.64 items per cycle.
+  EXPECT_NEAR(sim.MemoryItemsPerCycle(), 14.64, 0.01);
+}
+
+}  // namespace
+}  // namespace lightrw::core
