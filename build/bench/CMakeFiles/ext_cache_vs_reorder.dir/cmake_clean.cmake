@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_cache_vs_reorder.dir/ext_cache_vs_reorder.cc.o"
+  "CMakeFiles/ext_cache_vs_reorder.dir/ext_cache_vs_reorder.cc.o.d"
+  "ext_cache_vs_reorder"
+  "ext_cache_vs_reorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_cache_vs_reorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

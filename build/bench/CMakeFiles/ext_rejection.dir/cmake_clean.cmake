@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_rejection.dir/ext_rejection.cc.o"
+  "CMakeFiles/ext_rejection.dir/ext_rejection.cc.o.d"
+  "ext_rejection"
+  "ext_rejection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_rejection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_static_vs_dynamic.dir/ext_static_vs_dynamic.cc.o"
+  "CMakeFiles/ext_static_vs_dynamic.dir/ext_static_vs_dynamic.cc.o.d"
+  "ext_static_vs_dynamic"
+  "ext_static_vs_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_static_vs_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

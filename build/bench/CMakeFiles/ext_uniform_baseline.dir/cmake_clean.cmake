@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_uniform_baseline.dir/ext_uniform_baseline.cc.o"
+  "CMakeFiles/ext_uniform_baseline.dir/ext_uniform_baseline.cc.o.d"
+  "ext_uniform_baseline"
+  "ext_uniform_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_uniform_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

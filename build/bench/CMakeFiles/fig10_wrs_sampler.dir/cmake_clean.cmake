@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_wrs_sampler.dir/fig10_wrs_sampler.cc.o"
+  "CMakeFiles/fig10_wrs_sampler.dir/fig10_wrs_sampler.cc.o.d"
+  "fig10_wrs_sampler"
+  "fig10_wrs_sampler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_wrs_sampler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig10_wrs_sampler.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_degree_cache.dir/fig11_degree_cache.cc.o"
+  "CMakeFiles/fig11_degree_cache.dir/fig11_degree_cache.cc.o.d"
+  "fig11_degree_cache"
+  "fig11_degree_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_degree_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_burst_strategy.dir/fig12_burst_strategy.cc.o"
+  "CMakeFiles/fig12_burst_strategy.dir/fig12_burst_strategy.cc.o.d"
+  "fig12_burst_strategy"
+  "fig12_burst_strategy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_burst_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_query_count.dir/fig16_query_count.cc.o"
+  "CMakeFiles/fig16_query_count.dir/fig16_query_count.cc.o.d"
+  "fig16_query_count"
+  "fig16_query_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_query_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

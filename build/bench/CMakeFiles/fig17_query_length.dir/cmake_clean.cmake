@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_query_length.dir/fig17_query_length.cc.o"
+  "CMakeFiles/fig17_query_length.dir/fig17_query_length.cc.o.d"
+  "fig17_query_length"
+  "fig17_query_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_query_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_link_prediction.dir/fig18_link_prediction.cc.o"
+  "CMakeFiles/fig18_link_prediction.dir/fig18_link_prediction.cc.o.d"
+  "fig18_link_prediction"
+  "fig18_link_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_link_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

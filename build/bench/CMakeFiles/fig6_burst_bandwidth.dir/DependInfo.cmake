@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig6_burst_bandwidth.cc" "bench/CMakeFiles/fig6_burst_bandwidth.dir/fig6_burst_bandwidth.cc.o" "gcc" "bench/CMakeFiles/fig6_burst_bandwidth.dir/fig6_burst_bandwidth.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/lightrw_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/lightrw_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytics/CMakeFiles/lightrw_analytics.dir/DependInfo.cmake"
+  "/root/repo/build/src/distributed/CMakeFiles/lightrw_distributed.dir/DependInfo.cmake"
+  "/root/repo/build/src/lightrw/CMakeFiles/lightrw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/lightrw_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/lightrw_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/lightrw_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/lightrw_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwsim/CMakeFiles/lightrw_hwsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lightrw_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

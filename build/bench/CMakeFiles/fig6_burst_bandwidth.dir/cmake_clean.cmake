@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_burst_bandwidth.dir/fig6_burst_bandwidth.cc.o"
+  "CMakeFiles/fig6_burst_bandwidth.dir/fig6_burst_bandwidth.cc.o.d"
+  "fig6_burst_bandwidth"
+  "fig6_burst_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_burst_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lightrw_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/lightrw_bench_util.dir/bench_util.cc.o.d"
+  "liblightrw_bench_util.a"
+  "liblightrw_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lightrw_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_pcie.dir/table4_pcie.cc.o"
+  "CMakeFiles/table4_pcie.dir/table4_pcie.cc.o.d"
+  "table4_pcie"
+  "table4_pcie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_pcie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_resources.dir/table5_resources.cc.o"
+  "CMakeFiles/table5_resources.dir/table5_resources.cc.o.d"
+  "table5_resources"
+  "table5_resources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

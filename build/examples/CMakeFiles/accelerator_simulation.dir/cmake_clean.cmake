@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accelerator_simulation.dir/accelerator_simulation.cpp.o"
+  "CMakeFiles/accelerator_simulation.dir/accelerator_simulation.cpp.o.d"
+  "accelerator_simulation"
+  "accelerator_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accelerator_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metapath_recommendation.dir/metapath_recommendation.cpp.o"
+  "CMakeFiles/metapath_recommendation.dir/metapath_recommendation.cpp.o.d"
+  "metapath_recommendation"
+  "metapath_recommendation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metapath_recommendation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/node2vec_link_prediction.dir/node2vec_link_prediction.cpp.o"
+  "CMakeFiles/node2vec_link_prediction.dir/node2vec_link_prediction.cpp.o.d"
+  "node2vec_link_prediction"
+  "node2vec_link_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/node2vec_link_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

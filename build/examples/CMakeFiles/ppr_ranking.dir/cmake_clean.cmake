@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppr_ranking.dir/ppr_ranking.cpp.o"
+  "CMakeFiles/ppr_ranking.dir/ppr_ranking.cpp.o.d"
+  "ppr_ranking"
+  "ppr_ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppr_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/walk_tool.dir/walk_tool.cpp.o"
+  "CMakeFiles/walk_tool.dir/walk_tool.cpp.o.d"
+  "walk_tool"
+  "walk_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/walk_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

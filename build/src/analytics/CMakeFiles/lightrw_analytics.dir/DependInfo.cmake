@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analytics/corpus_io.cc" "src/analytics/CMakeFiles/lightrw_analytics.dir/corpus_io.cc.o" "gcc" "src/analytics/CMakeFiles/lightrw_analytics.dir/corpus_io.cc.o.d"
+  "/root/repo/src/analytics/embedding.cc" "src/analytics/CMakeFiles/lightrw_analytics.dir/embedding.cc.o" "gcc" "src/analytics/CMakeFiles/lightrw_analytics.dir/embedding.cc.o.d"
+  "/root/repo/src/analytics/link_prediction.cc" "src/analytics/CMakeFiles/lightrw_analytics.dir/link_prediction.cc.o" "gcc" "src/analytics/CMakeFiles/lightrw_analytics.dir/link_prediction.cc.o.d"
+  "/root/repo/src/analytics/ppr.cc" "src/analytics/CMakeFiles/lightrw_analytics.dir/ppr.cc.o" "gcc" "src/analytics/CMakeFiles/lightrw_analytics.dir/ppr.cc.o.d"
+  "/root/repo/src/analytics/walk_stats.cc" "src/analytics/CMakeFiles/lightrw_analytics.dir/walk_stats.cc.o" "gcc" "src/analytics/CMakeFiles/lightrw_analytics.dir/walk_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lightrw_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/lightrw_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/lightrw_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/lightrw_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/lightrw_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/lightrw_apps.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

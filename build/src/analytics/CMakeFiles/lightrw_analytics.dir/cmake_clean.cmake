@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lightrw_analytics.dir/corpus_io.cc.o"
+  "CMakeFiles/lightrw_analytics.dir/corpus_io.cc.o.d"
+  "CMakeFiles/lightrw_analytics.dir/embedding.cc.o"
+  "CMakeFiles/lightrw_analytics.dir/embedding.cc.o.d"
+  "CMakeFiles/lightrw_analytics.dir/link_prediction.cc.o"
+  "CMakeFiles/lightrw_analytics.dir/link_prediction.cc.o.d"
+  "CMakeFiles/lightrw_analytics.dir/ppr.cc.o"
+  "CMakeFiles/lightrw_analytics.dir/ppr.cc.o.d"
+  "CMakeFiles/lightrw_analytics.dir/walk_stats.cc.o"
+  "CMakeFiles/lightrw_analytics.dir/walk_stats.cc.o.d"
+  "liblightrw_analytics.a"
+  "liblightrw_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lightrw_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

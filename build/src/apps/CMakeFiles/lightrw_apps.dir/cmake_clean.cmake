@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lightrw_apps.dir/walk_app.cc.o"
+  "CMakeFiles/lightrw_apps.dir/walk_app.cc.o.d"
+  "CMakeFiles/lightrw_apps.dir/weighted_metapath.cc.o"
+  "CMakeFiles/lightrw_apps.dir/weighted_metapath.cc.o.d"
+  "liblightrw_apps.a"
+  "liblightrw_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lightrw_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

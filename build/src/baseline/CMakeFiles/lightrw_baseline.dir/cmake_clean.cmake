@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lightrw_baseline.dir/engine.cc.o"
+  "CMakeFiles/lightrw_baseline.dir/engine.cc.o.d"
+  "CMakeFiles/lightrw_baseline.dir/llc_model.cc.o"
+  "CMakeFiles/lightrw_baseline.dir/llc_model.cc.o.d"
+  "CMakeFiles/lightrw_baseline.dir/rejection.cc.o"
+  "CMakeFiles/lightrw_baseline.dir/rejection.cc.o.d"
+  "CMakeFiles/lightrw_baseline.dir/static_index.cc.o"
+  "CMakeFiles/lightrw_baseline.dir/static_index.cc.o.d"
+  "liblightrw_baseline.a"
+  "liblightrw_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lightrw_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lightrw_common.dir/flags.cc.o"
+  "CMakeFiles/lightrw_common.dir/flags.cc.o.d"
+  "CMakeFiles/lightrw_common.dir/histogram.cc.o"
+  "CMakeFiles/lightrw_common.dir/histogram.cc.o.d"
+  "CMakeFiles/lightrw_common.dir/status.cc.o"
+  "CMakeFiles/lightrw_common.dir/status.cc.o.d"
+  "liblightrw_common.a"
+  "liblightrw_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lightrw_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lightrw_distributed.dir/dist_engine.cc.o"
+  "CMakeFiles/lightrw_distributed.dir/dist_engine.cc.o.d"
+  "CMakeFiles/lightrw_distributed.dir/partition.cc.o"
+  "CMakeFiles/lightrw_distributed.dir/partition.cc.o.d"
+  "liblightrw_distributed.a"
+  "liblightrw_distributed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lightrw_distributed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/builder.cc" "src/graph/CMakeFiles/lightrw_graph.dir/builder.cc.o" "gcc" "src/graph/CMakeFiles/lightrw_graph.dir/builder.cc.o.d"
+  "/root/repo/src/graph/components.cc" "src/graph/CMakeFiles/lightrw_graph.dir/components.cc.o" "gcc" "src/graph/CMakeFiles/lightrw_graph.dir/components.cc.o.d"
+  "/root/repo/src/graph/csr.cc" "src/graph/CMakeFiles/lightrw_graph.dir/csr.cc.o" "gcc" "src/graph/CMakeFiles/lightrw_graph.dir/csr.cc.o.d"
+  "/root/repo/src/graph/generators.cc" "src/graph/CMakeFiles/lightrw_graph.dir/generators.cc.o" "gcc" "src/graph/CMakeFiles/lightrw_graph.dir/generators.cc.o.d"
+  "/root/repo/src/graph/io.cc" "src/graph/CMakeFiles/lightrw_graph.dir/io.cc.o" "gcc" "src/graph/CMakeFiles/lightrw_graph.dir/io.cc.o.d"
+  "/root/repo/src/graph/stats.cc" "src/graph/CMakeFiles/lightrw_graph.dir/stats.cc.o" "gcc" "src/graph/CMakeFiles/lightrw_graph.dir/stats.cc.o.d"
+  "/root/repo/src/graph/transforms.cc" "src/graph/CMakeFiles/lightrw_graph.dir/transforms.cc.o" "gcc" "src/graph/CMakeFiles/lightrw_graph.dir/transforms.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lightrw_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/lightrw_rng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

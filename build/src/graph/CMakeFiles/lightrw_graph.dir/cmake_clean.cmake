@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lightrw_graph.dir/builder.cc.o"
+  "CMakeFiles/lightrw_graph.dir/builder.cc.o.d"
+  "CMakeFiles/lightrw_graph.dir/components.cc.o"
+  "CMakeFiles/lightrw_graph.dir/components.cc.o.d"
+  "CMakeFiles/lightrw_graph.dir/csr.cc.o"
+  "CMakeFiles/lightrw_graph.dir/csr.cc.o.d"
+  "CMakeFiles/lightrw_graph.dir/generators.cc.o"
+  "CMakeFiles/lightrw_graph.dir/generators.cc.o.d"
+  "CMakeFiles/lightrw_graph.dir/io.cc.o"
+  "CMakeFiles/lightrw_graph.dir/io.cc.o.d"
+  "CMakeFiles/lightrw_graph.dir/stats.cc.o"
+  "CMakeFiles/lightrw_graph.dir/stats.cc.o.d"
+  "CMakeFiles/lightrw_graph.dir/transforms.cc.o"
+  "CMakeFiles/lightrw_graph.dir/transforms.cc.o.d"
+  "liblightrw_graph.a"
+  "liblightrw_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lightrw_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

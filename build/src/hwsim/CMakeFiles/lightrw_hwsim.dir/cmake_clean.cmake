@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lightrw_hwsim.dir/dram.cc.o"
+  "CMakeFiles/lightrw_hwsim.dir/dram.cc.o.d"
+  "liblightrw_hwsim.a"
+  "liblightrw_hwsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lightrw_hwsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lightrw/burst_engine.cc" "src/lightrw/CMakeFiles/lightrw_core.dir/burst_engine.cc.o" "gcc" "src/lightrw/CMakeFiles/lightrw_core.dir/burst_engine.cc.o.d"
+  "/root/repo/src/lightrw/config_validation.cc" "src/lightrw/CMakeFiles/lightrw_core.dir/config_validation.cc.o" "gcc" "src/lightrw/CMakeFiles/lightrw_core.dir/config_validation.cc.o.d"
+  "/root/repo/src/lightrw/cycle_engine.cc" "src/lightrw/CMakeFiles/lightrw_core.dir/cycle_engine.cc.o" "gcc" "src/lightrw/CMakeFiles/lightrw_core.dir/cycle_engine.cc.o.d"
+  "/root/repo/src/lightrw/functional_engine.cc" "src/lightrw/CMakeFiles/lightrw_core.dir/functional_engine.cc.o" "gcc" "src/lightrw/CMakeFiles/lightrw_core.dir/functional_engine.cc.o.d"
+  "/root/repo/src/lightrw/platform_models.cc" "src/lightrw/CMakeFiles/lightrw_core.dir/platform_models.cc.o" "gcc" "src/lightrw/CMakeFiles/lightrw_core.dir/platform_models.cc.o.d"
+  "/root/repo/src/lightrw/report.cc" "src/lightrw/CMakeFiles/lightrw_core.dir/report.cc.o" "gcc" "src/lightrw/CMakeFiles/lightrw_core.dir/report.cc.o.d"
+  "/root/repo/src/lightrw/step_sampler.cc" "src/lightrw/CMakeFiles/lightrw_core.dir/step_sampler.cc.o" "gcc" "src/lightrw/CMakeFiles/lightrw_core.dir/step_sampler.cc.o.d"
+  "/root/repo/src/lightrw/uniform_engine.cc" "src/lightrw/CMakeFiles/lightrw_core.dir/uniform_engine.cc.o" "gcc" "src/lightrw/CMakeFiles/lightrw_core.dir/uniform_engine.cc.o.d"
+  "/root/repo/src/lightrw/vertex_cache.cc" "src/lightrw/CMakeFiles/lightrw_core.dir/vertex_cache.cc.o" "gcc" "src/lightrw/CMakeFiles/lightrw_core.dir/vertex_cache.cc.o.d"
+  "/root/repo/src/lightrw/wrs_pipeline.cc" "src/lightrw/CMakeFiles/lightrw_core.dir/wrs_pipeline.cc.o" "gcc" "src/lightrw/CMakeFiles/lightrw_core.dir/wrs_pipeline.cc.o.d"
+  "/root/repo/src/lightrw/wrs_sampler_sim.cc" "src/lightrw/CMakeFiles/lightrw_core.dir/wrs_sampler_sim.cc.o" "gcc" "src/lightrw/CMakeFiles/lightrw_core.dir/wrs_sampler_sim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lightrw_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/lightrw_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/lightrw_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/lightrw_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwsim/CMakeFiles/lightrw_hwsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/lightrw_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/lightrw_rng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lightrw_core.dir/burst_engine.cc.o"
+  "CMakeFiles/lightrw_core.dir/burst_engine.cc.o.d"
+  "CMakeFiles/lightrw_core.dir/config_validation.cc.o"
+  "CMakeFiles/lightrw_core.dir/config_validation.cc.o.d"
+  "CMakeFiles/lightrw_core.dir/cycle_engine.cc.o"
+  "CMakeFiles/lightrw_core.dir/cycle_engine.cc.o.d"
+  "CMakeFiles/lightrw_core.dir/functional_engine.cc.o"
+  "CMakeFiles/lightrw_core.dir/functional_engine.cc.o.d"
+  "CMakeFiles/lightrw_core.dir/platform_models.cc.o"
+  "CMakeFiles/lightrw_core.dir/platform_models.cc.o.d"
+  "CMakeFiles/lightrw_core.dir/report.cc.o"
+  "CMakeFiles/lightrw_core.dir/report.cc.o.d"
+  "CMakeFiles/lightrw_core.dir/step_sampler.cc.o"
+  "CMakeFiles/lightrw_core.dir/step_sampler.cc.o.d"
+  "CMakeFiles/lightrw_core.dir/uniform_engine.cc.o"
+  "CMakeFiles/lightrw_core.dir/uniform_engine.cc.o.d"
+  "CMakeFiles/lightrw_core.dir/vertex_cache.cc.o"
+  "CMakeFiles/lightrw_core.dir/vertex_cache.cc.o.d"
+  "CMakeFiles/lightrw_core.dir/wrs_pipeline.cc.o"
+  "CMakeFiles/lightrw_core.dir/wrs_pipeline.cc.o.d"
+  "CMakeFiles/lightrw_core.dir/wrs_sampler_sim.cc.o"
+  "CMakeFiles/lightrw_core.dir/wrs_sampler_sim.cc.o.d"
+  "liblightrw_core.a"
+  "liblightrw_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lightrw_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rng/battery.cc" "src/rng/CMakeFiles/lightrw_rng.dir/battery.cc.o" "gcc" "src/rng/CMakeFiles/lightrw_rng.dir/battery.cc.o.d"
+  "/root/repo/src/rng/rng.cc" "src/rng/CMakeFiles/lightrw_rng.dir/rng.cc.o" "gcc" "src/rng/CMakeFiles/lightrw_rng.dir/rng.cc.o.d"
+  "/root/repo/src/rng/stat_tests.cc" "src/rng/CMakeFiles/lightrw_rng.dir/stat_tests.cc.o" "gcc" "src/rng/CMakeFiles/lightrw_rng.dir/stat_tests.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lightrw_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lightrw_rng.dir/battery.cc.o"
+  "CMakeFiles/lightrw_rng.dir/battery.cc.o.d"
+  "CMakeFiles/lightrw_rng.dir/rng.cc.o"
+  "CMakeFiles/lightrw_rng.dir/rng.cc.o.d"
+  "CMakeFiles/lightrw_rng.dir/stat_tests.cc.o"
+  "CMakeFiles/lightrw_rng.dir/stat_tests.cc.o.d"
+  "liblightrw_rng.a"
+  "liblightrw_rng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lightrw_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

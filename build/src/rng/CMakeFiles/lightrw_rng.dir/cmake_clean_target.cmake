@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblightrw_rng.a"
+)

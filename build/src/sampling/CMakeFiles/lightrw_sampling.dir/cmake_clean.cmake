@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lightrw_sampling.dir/alias.cc.o"
+  "CMakeFiles/lightrw_sampling.dir/alias.cc.o.d"
+  "CMakeFiles/lightrw_sampling.dir/inverse_transform.cc.o"
+  "CMakeFiles/lightrw_sampling.dir/inverse_transform.cc.o.d"
+  "CMakeFiles/lightrw_sampling.dir/parallel_wrs.cc.o"
+  "CMakeFiles/lightrw_sampling.dir/parallel_wrs.cc.o.d"
+  "liblightrw_sampling.a"
+  "liblightrw_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lightrw_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/burst_engine_test.dir/burst_engine_test.cc.o"
+  "CMakeFiles/burst_engine_test.dir/burst_engine_test.cc.o.d"
+  "burst_engine_test"
+  "burst_engine_test.pdb"
+  "burst_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/burst_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cycle_engine_test.dir/cycle_engine_test.cc.o"
+  "CMakeFiles/cycle_engine_test.dir/cycle_engine_test.cc.o.d"
+  "cycle_engine_test"
+  "cycle_engine_test.pdb"
+  "cycle_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cycle_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

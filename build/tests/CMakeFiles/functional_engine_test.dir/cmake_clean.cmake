@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/functional_engine_test.dir/functional_engine_test.cc.o"
+  "CMakeFiles/functional_engine_test.dir/functional_engine_test.cc.o.d"
+  "functional_engine_test"
+  "functional_engine_test.pdb"
+  "functional_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/functional_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

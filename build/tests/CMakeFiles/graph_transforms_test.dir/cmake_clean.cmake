@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_transforms_test.dir/graph_transforms_test.cc.o"
+  "CMakeFiles/graph_transforms_test.dir/graph_transforms_test.cc.o.d"
+  "graph_transforms_test"
+  "graph_transforms_test.pdb"
+  "graph_transforms_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_transforms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overflow_and_limits_test.dir/overflow_and_limits_test.cc.o"
+  "CMakeFiles/overflow_and_limits_test.dir/overflow_and_limits_test.cc.o.d"
+  "overflow_and_limits_test"
+  "overflow_and_limits_test.pdb"
+  "overflow_and_limits_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overflow_and_limits_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

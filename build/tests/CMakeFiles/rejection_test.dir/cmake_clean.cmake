@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rejection_test.dir/rejection_test.cc.o"
+  "CMakeFiles/rejection_test.dir/rejection_test.cc.o.d"
+  "rejection_test"
+  "rejection_test.pdb"
+  "rejection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rejection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rng_battery_test.dir/rng_battery_test.cc.o"
+  "CMakeFiles/rng_battery_test.dir/rng_battery_test.cc.o.d"
+  "rng_battery_test"
+  "rng_battery_test.pdb"
+  "rng_battery_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rng_battery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/static_index_test.dir/static_index_test.cc.o"
+  "CMakeFiles/static_index_test.dir/static_index_test.cc.o.d"
+  "static_index_test"
+  "static_index_test.pdb"
+  "static_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/static_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uniform_engine_test.dir/uniform_engine_test.cc.o"
+  "CMakeFiles/uniform_engine_test.dir/uniform_engine_test.cc.o.d"
+  "uniform_engine_test"
+  "uniform_engine_test.pdb"
+  "uniform_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uniform_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vertex_cache_test.dir/vertex_cache_test.cc.o"
+  "CMakeFiles/vertex_cache_test.dir/vertex_cache_test.cc.o.d"
+  "vertex_cache_test"
+  "vertex_cache_test.pdb"
+  "vertex_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vertex_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

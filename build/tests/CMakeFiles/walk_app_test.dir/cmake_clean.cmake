@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/walk_app_test.dir/walk_app_test.cc.o"
+  "CMakeFiles/walk_app_test.dir/walk_app_test.cc.o.d"
+  "walk_app_test"
+  "walk_app_test.pdb"
+  "walk_app_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/walk_app_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

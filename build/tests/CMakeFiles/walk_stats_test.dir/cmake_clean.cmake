@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/walk_stats_test.dir/walk_stats_test.cc.o"
+  "CMakeFiles/walk_stats_test.dir/walk_stats_test.cc.o.d"
+  "walk_stats_test"
+  "walk_stats_test.pdb"
+  "walk_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/walk_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wrs_pipeline_test.dir/wrs_pipeline_test.cc.o"
+  "CMakeFiles/wrs_pipeline_test.dir/wrs_pipeline_test.cc.o.d"
+  "wrs_pipeline_test"
+  "wrs_pipeline_test.pdb"
+  "wrs_pipeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wrs_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wrs_sampler_sim_test.dir/wrs_sampler_sim_test.cc.o"
+  "CMakeFiles/wrs_sampler_sim_test.dir/wrs_sampler_sim_test.cc.o.d"
+  "wrs_sampler_sim_test"
+  "wrs_sampler_sim_test.pdb"
+  "wrs_sampler_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wrs_sampler_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
