@@ -5,6 +5,7 @@
 #include <map>
 
 #include "common/check.h"
+#include "obs/trace.h"
 
 namespace lightrw::bench {
 
@@ -111,6 +112,33 @@ std::string FormatDouble(double value, int precision) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
   return buf;
+}
+
+obs::Json BenchContext() {
+  obs::Json context = obs::Json::MakeObject();
+  context.Set("scale_shift", static_cast<uint64_t>(ScaleShift()));
+  context.Set("max_queries", static_cast<uint64_t>(MaxQueries()));
+  context.Set("seed", kBenchSeed);
+  return context;
+}
+
+void WriteBenchJson(const std::string& name, obs::Json rows) {
+  const char* dir = std::getenv("LIGHTRW_BENCH_JSON_DIR");
+  std::string path = (dir != nullptr && *dir != '\0') ? dir : ".";
+  path += "/BENCH_" + name + ".json";
+
+  obs::Json record = obs::Json::MakeObject();
+  record.Set("bench", name);
+  record.Set("context", BenchContext());
+  record.Set("rows", std::move(rows));
+  const Status written =
+      obs::WriteTextFile(record.Dump(/*indent=*/2) + "\n", path);
+  if (!written.ok()) {
+    std::fprintf(stderr, "WriteBenchJson: %s\n",
+                 written.ToString().c_str());
+    return;
+  }
+  std::printf("wrote %s\n", path.c_str());
 }
 
 }  // namespace lightrw::bench

@@ -19,6 +19,7 @@
 #include "apps/walk_app.h"
 #include "graph/generators.h"
 #include "lightrw/config.h"
+#include "obs/json.h"
 
 namespace lightrw::bench {
 
@@ -67,6 +68,21 @@ void PrintRow(const std::vector<std::string>& cells,
               const std::vector<int>& widths);
 
 std::string FormatDouble(double value, int precision = 2);
+
+// ---------------------------------------------------------------------------
+// Machine-readable output. Benches that also want to be scraped by
+// scripts wrap their summary rows in a Json record and hand it to
+// WriteBenchJson, which stamps the shared reproduction context (scale
+// shift, query cap, seed) and writes BENCH_<name>.json to the directory
+// named by LIGHTRW_BENCH_JSON_DIR (default: the working directory).
+
+// Returns {"scale_shift": ..., "max_queries": ..., "seed": ...}.
+obs::Json BenchContext();
+
+// Writes {"bench": name, "context": BenchContext(), "rows": rows} to
+// BENCH_<name>.json and prints the path. Errors are reported to stderr
+// but do not abort (the plain-text table already went to stdout).
+void WriteBenchJson(const std::string& name, obs::Json rows);
 
 }  // namespace lightrw::bench
 

@@ -93,6 +93,18 @@ void PrintSummary() {
               FormatDouble(row.fifo_miss * 100, 1) + "%"},
              widths);
   }
+
+  obs::Json rows = obs::Json::MakeArray();
+  for (const Row& row : Rows()) {
+    obs::Json r = obs::Json::MakeObject();
+    r.Set("rmat_scale", static_cast<uint64_t>(row.scale));
+    r.Set("dac_miss", row.dac_miss);
+    r.Set("dmc_miss", row.dmc_miss);
+    r.Set("lru_miss", row.lru_miss);
+    r.Set("fifo_miss", row.fifo_miss);
+    rows.Append(std::move(r));
+  }
+  WriteBenchJson("fig11_degree_cache", std::move(rows));
 }
 
 BENCHMARK(CacheBench)

@@ -98,6 +98,18 @@ void PrintSummary() {
               FormatDouble(row.dac_loss * 100, 1) + "%"},
              widths);
   }
+
+  obs::Json rows = obs::Json::MakeArray();
+  for (const Row& row : Rows()) {
+    obs::Json r = obs::Json::MakeObject();
+    r.Set("dataset", row.dataset);
+    r.Set("app", row.app);
+    r.Set("wrs_loss_pct", row.wrs_loss * 100.0);
+    r.Set("dyb_loss_pct", row.dyb_loss * 100.0);
+    r.Set("dac_loss_pct", row.dac_loss * 100.0);
+    rows.Append(std::move(r));
+  }
+  WriteBenchJson("fig13_breakdown", std::move(rows));
 }
 
 }  // namespace

@@ -119,6 +119,19 @@ void PrintSummary() {
               FormatDouble(row.cpu_pwrs_steps_s / row.cpu_steps_s) + "x"},
              widths);
   }
+
+  obs::Json rows = obs::Json::MakeArray();
+  for (const Row& row : Rows()) {
+    obs::Json r = obs::Json::MakeObject();
+    r.Set("dataset", row.dataset);
+    r.Set("app", row.app);
+    r.Set("cpu_steps_per_second", row.cpu_steps_s);
+    r.Set("cpu_pwrs_steps_per_second", row.cpu_pwrs_steps_s);
+    r.Set("lightrw_steps_per_second", row.accel_steps_s);
+    r.Set("speedup", row.accel_steps_s / row.cpu_steps_s);
+    rows.Append(std::move(r));
+  }
+  WriteBenchJson("fig14_speedup", std::move(rows));
 }
 
 }  // namespace

@@ -94,6 +94,16 @@ void PrintSummary() {
               FormatDouble(row.bandwidth_gbs), FormatDouble(row.valid_ratio)},
              widths);
   }
+
+  obs::Json rows = obs::Json::MakeArray();
+  for (const Row& row : Rows()) {
+    obs::Json r = obs::Json::MakeObject();
+    r.Set("burst_beats", static_cast<uint64_t>(row.burst_beats));
+    r.Set("bandwidth_gbs", row.bandwidth_gbs);
+    r.Set("valid_ratio", row.valid_ratio);
+    rows.Append(std::move(r));
+  }
+  WriteBenchJson("fig6_burst_bandwidth", std::move(rows));
 }
 
 BENCHMARK(BurstLengthBench)

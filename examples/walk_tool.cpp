@@ -20,6 +20,8 @@
 #include "lightrw/cycle_engine.h"
 #include "lightrw/report.h"
 #include "lightrw/functional_engine.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -65,6 +67,16 @@ int main(int argc, char** argv) {
   flags.Define("seed", "random seed", "42");
   flags.Define("out", "write the walk corpus to this file (text)", "");
   flags.Define("report", "print the full accelerator run report", "false");
+  flags.Define("metrics-out",
+               "write a metrics snapshot (JSON; .prom suffix selects "
+               "Prometheus text) to this file",
+               "");
+  flags.Define("trace-out",
+               "write a Chrome trace_event JSON file (open in Perfetto) "
+               "of the simulated pipeline to this file",
+               "");
+  flags.Define("trace-limit", "max trace events kept (0 = disable)",
+               "1048576");
   flags.Define("help", "print usage", "false");
 
   const Status parsed = flags.Parse(argc, argv);
@@ -112,12 +124,24 @@ int main(int argc, char** argv) {
               app->name().c_str(), queries.size(), length,
               flags.GetString("engine").c_str());
 
+  // Observability sinks, shared by every engine path. The trace only
+  // fills for the cycle-accurate engine (the CPU path has no simulated
+  // clock to stamp events with).
+  obs::MetricsRegistry metrics;
+  obs::TraceConfig trace_config;
+  trace_config.max_events =
+      static_cast<size_t>(flags.GetInt("trace-limit"));
+  obs::TraceRecorder trace(trace_config);
+  const std::string metrics_out = flags.GetString("metrics-out");
+  const std::string trace_out = flags.GetString("trace-out");
+
   baseline::WalkOutput corpus;
   WallTimer timer;
   const std::string engine = flags.GetString("engine");
   if (engine == "cpu") {
     baseline::BaselineConfig config;
     config.seed = flags.GetInt("seed");
+    config.metrics = metrics_out.empty() ? nullptr : &metrics;
     baseline::BaselineEngine cpu(&g, app.get(), config);
     const auto stats = cpu.Run(queries, &corpus);
     std::printf("cpu engine: %llu steps in %.3fs (%.2f Msteps/s)\n",
@@ -126,6 +150,12 @@ int main(int argc, char** argv) {
   } else if (engine == "lightrw-sim") {
     core::AcceleratorConfig config;
     config.seed = flags.GetInt("seed");
+    if (!metrics_out.empty()) {
+      config.metrics = &metrics;
+    }
+    if (!trace_out.empty()) {
+      config.trace = &trace;
+    }
     core::CycleEngine accel(&g, app.get(), config);
     const auto stats = accel.Run(queries, &corpus);
     std::printf(
@@ -153,6 +183,32 @@ int main(int argc, char** argv) {
     std::printf("lightrw functional: %llu steps in %.3fs wall\n",
                 static_cast<unsigned long long>(stats.steps),
                 timer.ElapsedSeconds());
+  }
+
+  if (!metrics_out.empty()) {
+    const bool prometheus = metrics_out.size() > 5 &&
+                            metrics_out.rfind(".prom") ==
+                                metrics_out.size() - 5;
+    const Status written = obs::WriteTextFile(
+        prometheus ? metrics.ToPrometheusText() : metrics.ToJsonString(),
+        metrics_out);
+    if (!written.ok()) {
+      std::fprintf(stderr, "failed to write metrics: %s\n",
+                   written.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote metrics snapshot to %s\n", metrics_out.c_str());
+  }
+  if (!trace_out.empty()) {
+    const Status written = trace.WriteChromeTrace(trace_out);
+    if (!written.ok()) {
+      std::fprintf(stderr, "failed to write trace: %s\n",
+                   written.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %zu trace events to %s (%zu dropped)\n",
+                trace.num_events(), trace_out.c_str(),
+                trace.dropped_events());
   }
 
   if (!flags.GetString("out").empty()) {

@@ -7,6 +7,7 @@
 #include "baseline/llc_model.h"
 #include "common/check.h"
 #include "common/timer.h"
+#include "obs/metrics.h"
 #include "rng/rng.h"
 #include "sampling/alias.h"
 #include "sampling/inverse_transform.h"
@@ -36,10 +37,12 @@ constexpr double kPerEdgeOverheadCycles = 2.0;
 class Worker {
  public:
   Worker(const CsrGraph* graph, const WalkApp* app,
-         const BaselineConfig& config, uint64_t worker_seed)
+         const BaselineConfig& config, size_t worker_index,
+         uint64_t worker_seed)
       : graph_(graph),
         app_(app),
         config_(config),
+        worker_index_(worker_index),
         gen_(worker_seed),
         wrs_rng_(std::max<size_t>(config.pwrs_lanes, 1), worker_seed ^ 0xd1ceULL),
         reservoir_(&wrs_rng_, 0),
@@ -82,6 +85,7 @@ class Worker {
   const CsrGraph* graph_;
   const WalkApp* app_;
   const BaselineConfig& config_;
+  const size_t worker_index_;
   rng::Xoshiro256StarStar gen_;
   rng::ThunderingRng wrs_rng_;
   sampling::InverseTransformTable its_;
@@ -170,6 +174,10 @@ bool Worker::Step(Slot* slot, BaselineRunStats* stats) {
 
 void Worker::Run(std::span<const WalkQuery> queries, WalkOutput* output,
                  BaselineRunStats* stats) {
+  const uint64_t queries_before = stats->queries;
+  const uint64_t steps_before = stats->steps;
+  const uint64_t edges_before = stats->edges_examined;
+  WallTimer worker_timer;
   const size_t ring_size = std::max<size_t>(1, config_.ring_size);
   std::vector<Slot> ring(ring_size);
   size_t next_query = 0;
@@ -259,6 +267,31 @@ void Worker::Run(std::span<const WalkQuery> queries, WalkOutput* output,
     stats->profile.llc_misses = llc_->misses();
     FinalizeProfile(stats);
   }
+
+  if (config_.metrics != nullptr) {
+    const double seconds = worker_timer.ElapsedSeconds();
+    const uint64_t steps = stats->steps - steps_before;
+    const obs::Labels worker = {{"worker", std::to_string(worker_index_)}};
+    config_.metrics->GetCounter("baseline.worker.queries", worker)
+        ->Increment(stats->queries - queries_before);
+    config_.metrics->GetCounter("baseline.worker.steps", worker)
+        ->Increment(steps);
+    config_.metrics->GetCounter("baseline.worker.edges_examined", worker)
+        ->Increment(stats->edges_examined - edges_before);
+    config_.metrics->GetGauge("baseline.worker.seconds", worker)
+        ->Set(seconds);
+    config_.metrics->GetGauge("baseline.worker.steps_per_second", worker)
+        ->Set(seconds > 0.0 ? static_cast<double>(steps) / seconds : 0.0);
+    if (config_.collect_latency) {
+      obs::Histogram* latency = config_.metrics->GetHistogram(
+          "baseline.worker.query_latency_seconds", worker);
+      // stats->query_latency_seconds only holds this worker's samples
+      // here (per-worker stats structs are merged later by the engine).
+      for (const double s : stats->query_latency_seconds.sorted_samples()) {
+        latency->Observe(s);
+      }
+    }
+  }
 }
 
 void ComputeProfileRatios(ProfileCounters* prof, double edges, double steps,
@@ -306,7 +339,7 @@ BaselineRunStats BaselineEngine::Run(std::span<const WalkQuery> queries,
   WallTimer timer;
 
   if (num_threads <= 1) {
-    Worker worker(graph_, app_, config_, config_.seed);
+    Worker worker(graph_, app_, config_, /*worker_index=*/0, config_.seed);
     worker.Run(queries, output, &total);
   } else {
     std::vector<BaselineRunStats> stats(num_threads);
@@ -320,7 +353,7 @@ BaselineRunStats BaselineEngine::Run(std::span<const WalkQuery> queries,
         break;
       }
       threads.emplace_back([&, t, begin, end] {
-        Worker worker(graph_, app_, config_,
+        Worker worker(graph_, app_, config_, t,
                       config_.seed + 0x9e3779b97f4a7c15ULL * (t + 1));
         worker.Run(queries.subspan(begin, end - begin),
                    output != nullptr ? &outputs[t] : nullptr, &stats[t]);

@@ -26,6 +26,10 @@
 #include "graph/csr.h"
 #include "sampling/sampler.h"
 
+namespace lightrw::obs {
+class MetricsRegistry;
+}  // namespace lightrw::obs
+
 namespace lightrw::baseline {
 
 using apps::WalkApp;
@@ -53,6 +57,11 @@ struct BaselineConfig {
   // Per-query walk initialization overhead is excluded; this flag adds a
   // fixed modeled setup cost per run (thread/memory allocation), visible
   // at small query counts (Fig. 16 discussion).
+
+  // Optional metrics registry (src/obs/); not owned, may be null. Each
+  // worker publishes step counts and wall-time under worker= labels —
+  // the registry is thread-safe, so concurrent workers may share it.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 // Container for generated walks: paths are concatenated, query i's path is

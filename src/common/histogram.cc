@@ -28,26 +28,34 @@ void SampleStats::EnsureSorted() const {
 }
 
 double SampleStats::Mean() const {
-  LIGHTRW_CHECK(!samples_.empty());
+  if (samples_.empty()) {
+    return 0.0;
+  }
   return sum_ / static_cast<double>(samples_.size());
 }
 
 double SampleStats::Min() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
   EnsureSorted();
-  LIGHTRW_CHECK(!samples_.empty());
   return samples_.front();
 }
 
 double SampleStats::Max() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
   EnsureSorted();
-  LIGHTRW_CHECK(!samples_.empty());
   return samples_.back();
 }
 
 double SampleStats::Quantile(double q) const {
-  EnsureSorted();
-  LIGHTRW_CHECK(!samples_.empty());
   LIGHTRW_CHECK(q >= 0.0 && q <= 1.0);
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  EnsureSorted();
   if (samples_.size() == 1) {
     return samples_.front();
   }
@@ -59,7 +67,9 @@ double SampleStats::Quantile(double q) const {
 }
 
 double SampleStats::StdDev() const {
-  LIGHTRW_CHECK(!samples_.empty());
+  if (samples_.empty()) {
+    return 0.0;
+  }
   const double mean = Mean();
   double acc = 0.0;
   for (double s : samples_) {
@@ -67,6 +77,11 @@ double SampleStats::StdDev() const {
     acc += d * d;
   }
   return std::sqrt(acc / static_cast<double>(samples_.size()));
+}
+
+const std::vector<double>& SampleStats::sorted_samples() const {
+  EnsureSorted();
+  return samples_;
 }
 
 void CountHistogram::Add(uint64_t value) {

@@ -13,6 +13,11 @@ namespace lightrw {
 // Collects double-valued samples and reports order statistics. Quantiles
 // are exact (computed over the stored samples), which is fine at the scales
 // used here (tens of thousands of per-query latencies).
+//
+// Edge cases are defined, not UB: every statistic of an empty accumulator
+// is 0.0 (callers that must distinguish "no data" check count() first),
+// and a single-sample accumulator reports Min == Max == Mean ==
+// Quantile(q) == the sample, with StdDev 0.0.
 class SampleStats {
  public:
   void Add(double value);
@@ -26,10 +31,14 @@ class SampleStats {
   double Mean() const;
   double Min() const;
   double Max() const;
-  // q in [0, 1]; linear interpolation between closest ranks.
+  // q in [0, 1] (checked); linear interpolation between closest ranks.
   double Quantile(double q) const;
   double Median() const { return Quantile(0.5); }
+  // Population standard deviation.
   double StdDev() const;
+
+  // The stored samples, sorted ascending (sorts lazily on first call).
+  const std::vector<double>& sorted_samples() const;
 
  private:
   // Sorts samples_ if new samples arrived since the last query.

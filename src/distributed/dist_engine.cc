@@ -12,6 +12,7 @@
 #include "lightrw/burst_engine.h"
 #include "lightrw/step_sampler.h"
 #include "lightrw/vertex_cache.h"
+#include "obs/metrics.h"
 #include "rng/rng.h"
 
 namespace lightrw::distributed {
@@ -40,6 +41,9 @@ struct Board {
   core::StepSampler sampler;
   hwsim::NetworkLink link;
   hwsim::Cycle sampler_busy = 0;  // the k-wide sampler unit is shared
+  uint64_t steps_served = 0;      // steps executed on this board
+  uint64_t migrations_out = 0;    // walkers shipped off this board
+  hwsim::Cycle last_activity = 0; // latest step completion on this board
 };
 
 enum class Phase { kInfo, kFetch };
@@ -200,6 +204,8 @@ DistributedRunStats DistributedEngine::Run(
     w.state.curr = next;
     ++w.state.step;
     ++stats.steps;
+    ++board.steps_served;
+    board.last_activity = std::max(board.last_activity, step_end);
     w.path.push_back(next);
 
     const bool stopped =
@@ -218,13 +224,16 @@ DistributedRunStats DistributedEngine::Run(
           board.link.Send(step_end, config_.walker_message_bytes);
       w.board = next_board;
       ++stats.migrations;
+      ++board.migrations_out;
       heap.emplace(arrival, slot);
     } else {
       heap.emplace(step_end, slot);
     }
   }
 
-  for (const Board& board : boards) {
+  obs::MetricsRegistry* metrics = config_.board.metrics;
+  for (BoardId b = 0; b < num_boards; ++b) {
+    const Board& board = boards[b];
     stats.dram.requests += board.channel.stats().requests;
     stats.dram.beats += board.channel.stats().beats;
     stats.dram.bytes += board.channel.stats().bytes;
@@ -233,6 +242,22 @@ DistributedRunStats DistributedEngine::Run(
     stats.network.messages += board.link.stats().messages;
     stats.network.payload_bytes += board.link.stats().payload_bytes;
     stats.network.busy_cycles += board.link.stats().busy_cycles;
+    if (metrics != nullptr) {
+      // Per-partition load balance: one label set per board.
+      const obs::Labels labels = {{"board", std::to_string(b)}};
+      metrics->GetCounter("dist.board.steps", labels)
+          ->Increment(board.steps_served);
+      metrics->GetCounter("dist.board.migrations_out", labels)
+          ->Increment(board.migrations_out);
+      metrics->GetCounter("dist.board.dram_bytes", labels)
+          ->Increment(board.channel.stats().bytes);
+      metrics->GetCounter("dist.board.link_messages", labels)
+          ->Increment(board.link.stats().messages);
+      metrics->GetCounter("dist.board.link_bytes", labels)
+          ->Increment(board.link.stats().payload_bytes);
+      metrics->GetGauge("dist.board.busy_until_cycles", labels)
+          ->Set(static_cast<double>(board.last_activity));
+    }
   }
   stats.cycles = makespan;
   stats.seconds =

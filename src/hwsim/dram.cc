@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.h"
+
 namespace lightrw::hwsim {
 
 DramChannel::DramChannel(const DramConfig& config) : config_(config) {
@@ -43,6 +45,10 @@ Cycle DramChannel::Access(Cycle ready, uint32_t burst_beats) {
   stats_.beats += burst_beats;
   stats_.bytes += static_cast<uint64_t>(burst_beats) * config_.bus_bytes;
   stats_.busy_cycles += transfer_cycles;
+  if (trace_ != nullptr && trace_->accepting()) {
+    trace_->Complete("dram_request", "dram", trace_pid_, trace_tid_,
+                     transfer_start, bus_busy_);
+  }
   // Data is fully delivered one pipelined latency after the transfer.
   return bus_busy_ + config_.access_latency_cycles;
 }

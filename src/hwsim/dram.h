@@ -19,6 +19,10 @@
 
 #include "common/check.h"
 
+namespace lightrw::obs {
+class TraceRecorder;
+}  // namespace lightrw::obs
+
 namespace lightrw::hwsim {
 
 // Cycle timestamp in kernel clock cycles.
@@ -95,11 +99,24 @@ class DramChannel {
   const DramStats& stats() const { return stats_; }
   void ResetStats() { stats_ = DramStats{}; }
 
+  // Mirrors every request's data-bus service window [transfer start,
+  // last beat] into `trace` as a complete event on track (pid, tid).
+  // `trace` is not owned, may be null (detaches), and must outlive the
+  // channel's use.
+  void AttachTrace(obs::TraceRecorder* trace, uint32_t pid, uint32_t tid) {
+    trace_ = trace;
+    trace_pid_ = pid;
+    trace_tid_ = tid;
+  }
+
  private:
   DramConfig config_;
   std::vector<Cycle> bank_busy_;
   Cycle bus_busy_ = 0;
   DramStats stats_;
+  obs::TraceRecorder* trace_ = nullptr;
+  uint32_t trace_pid_ = 0;
+  uint32_t trace_tid_ = 0;
 };
 
 }  // namespace lightrw::hwsim

@@ -7,6 +7,11 @@
 
 #include "hwsim/dram.h"
 
+namespace lightrw::obs {
+class MetricsRegistry;
+class TraceRecorder;
+}  // namespace lightrw::obs
+
 namespace lightrw::core {
 
 // Which row_index cache the Neighbor Info Loader uses (paper §5.1).
@@ -87,6 +92,13 @@ struct AcceleratorConfig {
 
   // Records per-query latency in cycles (Fig. 15).
   bool collect_latency = false;
+
+  // Optional observability sinks (src/obs/); not owned, may be null, and
+  // must outlive the engine run. The metrics registry receives
+  // per-instance counters (cache, burst, DRAM, per-stage cycles); the
+  // trace recorder receives simulated-cycle pipeline events.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::TraceRecorder* trace = nullptr;
 };
 
 }  // namespace lightrw::core

@@ -8,6 +8,8 @@
 #include "common/bits.h"
 #include "common/check.h"
 #include "lightrw/step_sampler.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rng/rng.h"
 #include "sampling/sampler.h"
 
@@ -19,20 +21,49 @@ using apps::WalkState;
 using graph::VertexId;
 using hwsim::Cycle;
 
+// Trace track (tid) layout within one instance's pid: one lane per
+// pipeline stage, mirroring the module chain of paper Fig. 3.
+enum TraceTrack : uint32_t {
+  kInfoTrack = 0,    // Neighbor Info Loader (row-index lookups)
+  kFetchTrack = 1,   // Dynamic Burst Engine (adjacency streams)
+  kWrsTrack = 2,     // Weight Updater + WRS Sampler lanes
+  kRetireTrack = 3,  // query retirement
+  kDramTrack = 4,    // DRAM channel data-bus service windows
+};
+
+void NameInstanceTracks(obs::TraceRecorder* trace, uint32_t pid,
+                        const std::string& process_name) {
+  trace->NameProcess(pid, process_name);
+  trace->NameTrack(pid, kInfoTrack, "info loader");
+  trace->NameTrack(pid, kFetchTrack, "burst engine");
+  trace->NameTrack(pid, kWrsTrack, "wrs sampler");
+  trace->NameTrack(pid, kRetireTrack, "retire");
+  trace->NameTrack(pid, kDramTrack, "dram channel");
+}
+
 // One LightRW instance bound to one DRAM channel (paper Fig. 9).
 class Instance {
  public:
   Instance(const graph::CsrGraph* graph, const apps::WalkApp* app,
-           const AcceleratorConfig& config, uint64_t seed)
+           const AcceleratorConfig& config, uint32_t instance_id,
+           uint64_t seed)
       : graph_(graph),
         app_(app),
         config_(config),
+        instance_id_(instance_id),
+        trace_(config.trace),
         channel_(config.dram),
         burst_(&channel_, config.burst),
         cache_(MakeVertexCache(config.cache_kind, config.cache_entries)),
         rng_(config.sampler_parallelism, seed),
         sampler_(config.sampler_parallelism, &rng_),
-        stop_gen_(seed ^ 0x5709ULL) {}
+        stop_gen_(seed ^ 0x5709ULL) {
+    if (trace_ != nullptr) {
+      NameInstanceTracks(trace_, instance_id_,
+                         "accel instance " + std::to_string(instance_id_));
+      channel_.AttachTrace(trace_, instance_id_, kDramTrack);
+    }
+  }
 
   // Simulates this instance's query share; accumulates into `stats` (all
   // fields except the makespan fields, which the caller derives).
@@ -72,9 +103,18 @@ class Instance {
   Cycle FetchPhase(Slot* slot, Cycle t, VertexId* next,
                    AccelRunStats* stats);
 
+  bool tracing() const { return trace_ != nullptr && trace_->accepting(); }
+
+  // Publishes this instance's module statistics into the configured
+  // metrics registry under instance-labeled names.
+  void PublishMetrics(Cycle makespan, uint64_t queries, uint64_t steps);
+
   const graph::CsrGraph* graph_;
   const apps::WalkApp* app_;
   const AcceleratorConfig& config_;
+  const uint32_t instance_id_;
+  obs::TraceRecorder* trace_;
+  StageCycleStats stage_;
   hwsim::DramChannel channel_;
   DynamicBurstEngine burst_;
   std::unique_ptr<VertexCache> cache_;
@@ -89,7 +129,13 @@ class Instance {
 Cycle Instance::LookupNeighborInfo(Cycle t, VertexId v) {
   if (cache_ != nullptr) {
     if (cache_->Probe(v)) {
+      if (tracing()) {
+        trace_->Instant("cache_hit", "cache", instance_id_, kInfoTrack, t);
+      }
       return t + 1;  // on-chip hit: single-cycle response (Fig. 5 step c)
+    }
+    if (tracing()) {
+      trace_->Instant("cache_miss", "cache", instance_id_, kInfoTrack, t);
     }
     const Cycle done = channel_.Access(t, /*burst_beats=*/1);
     channel_.ReportUseful(graph::kBytesPerRowRecord);
@@ -113,6 +159,11 @@ Cycle Instance::InfoPhase(Slot* slot, Cycle t) {
   if (app_->needs_prev_neighbors() &&
       state.prev != graph::kInvalidVertex) {
     t_info = std::max(t_info, LookupNeighborInfo(t, state.prev));
+  }
+  stage_.info_cycles += t_info - t;
+  if (tracing()) {
+    trace_->Complete("row_lookup", "info", instance_id_, kInfoTrack, t,
+                     t_info);
   }
   return t_info;
 }
@@ -156,6 +207,10 @@ Cycle Instance::FetchPhase(Slot* slot, Cycle t, VertexId* next,
     const Cycle consume_start = std::max(first_data, sampler_busy_);
     sampler_busy_ = consume_start + CeilDiv(degree, k);
     step_end = std::max(last_data, sampler_busy_);
+    if (tracing()) {
+      trace_->Complete("wrs_consume", "sampler", instance_id_, kWrsTrack,
+                       consume_start, sampler_busy_);
+    }
   } else {
     // Staged ThunderRW-style flow on chip (the WRS-disabled ablation):
     // each stage runs to completion and the intermediate weight buffer
@@ -195,6 +250,17 @@ Cycle Instance::FetchPhase(Slot* slot, Cycle t, VertexId* next,
                          static_cast<Cycle>(probes) * transfer_latency(1);
     step_end = std::max(serial, booked);
   }
+
+  // Attribution: memory wait up to the last adjacency beat counts as
+  // fetch; whatever extends past it (WRS queueing or the staged
+  // weight/table round-trips) counts as sampler time.
+  stage_.fetch_cycles += last_data > t ? last_data - t : 0;
+  stage_.sampler_cycles += step_end > last_data ? step_end - last_data : 0;
+  stage_.pipeline_cycles += config_.pipeline_depth_cycles;
+  if (tracing()) {
+    trace_->Complete("adjacency_fetch", "burst", instance_id_, kFetchTrack,
+                     t_fetch, last_data);
+  }
   step_end += config_.pipeline_depth_cycles;
 
   // Functional sampling (identical distribution to the hardware).
@@ -209,6 +275,8 @@ Cycle Instance::Run(std::span<const WalkQuery> queries,
   if (queries.empty()) {
     return 0;
   }
+  const uint64_t queries_before = stats->queries;
+  const uint64_t steps_before = stats->steps;
   const size_t num_slots =
       std::min<size_t>(std::max<uint32_t>(config_.inflight_queries, 1),
                        queries.size());
@@ -242,6 +310,10 @@ Cycle Instance::Run(std::span<const WalkQuery> queries,
     Slot& slot = slots[slot_index];
     if (config_.collect_latency) {
       stats->query_latency_cycles.Add(static_cast<double>(at - slot.start));
+    }
+    if (tracing()) {
+      trace_->Instant("query_retire", "query", instance_id_, kRetireTrack,
+                      at);
     }
     if (finished != nullptr) {
       (*finished)[global_indices[slot.query_seq]] = std::move(slot.path);
@@ -315,7 +387,60 @@ Cycle Instance::Run(std::span<const WalkQuery> queries,
   stats->burst.short_bursts += burst_.stats().short_bursts;
   stats->burst.requested_bytes += burst_.stats().requested_bytes;
   stats->burst.loaded_bytes += burst_.stats().loaded_bytes;
+  stats->stage.info_cycles += stage_.info_cycles;
+  stats->stage.fetch_cycles += stage_.fetch_cycles;
+  stats->stage.sampler_cycles += stage_.sampler_cycles;
+  stats->stage.pipeline_cycles += stage_.pipeline_cycles;
+  PublishMetrics(makespan, stats->queries - queries_before,
+                 stats->steps - steps_before);
   return makespan;
+}
+
+void Instance::PublishMetrics(Cycle makespan, uint64_t queries,
+                              uint64_t steps) {
+  obs::MetricsRegistry* metrics = config_.metrics;
+  if (metrics == nullptr) {
+    return;
+  }
+  const obs::Labels instance = {{"instance", std::to_string(instance_id_)}};
+  metrics->GetCounter("accel.instance.queries", instance)->Increment(queries);
+  metrics->GetCounter("accel.instance.steps", instance)->Increment(steps);
+  metrics->GetGauge("accel.instance.cycles", instance)
+      ->Set(static_cast<double>(makespan));
+  if (cache_ != nullptr) {
+    metrics->GetCounter("accel.cache.hits", instance)
+        ->Increment(cache_->stats().hits);
+    metrics->GetCounter("accel.cache.misses", instance)
+        ->Increment(cache_->stats().misses);
+  }
+  metrics->GetCounter("accel.burst.requests", instance)
+      ->Increment(burst_.stats().requests);
+  metrics->GetCounter("accel.burst.long_bursts", instance)
+      ->Increment(burst_.stats().long_bursts);
+  metrics->GetCounter("accel.burst.short_bursts", instance)
+      ->Increment(burst_.stats().short_bursts);
+  metrics->GetCounter("accel.burst.loaded_bytes", instance)
+      ->Increment(burst_.stats().loaded_bytes);
+  metrics->GetCounter("accel.dram.requests", instance)
+      ->Increment(channel_.stats().requests);
+  metrics->GetCounter("accel.dram.bytes", instance)
+      ->Increment(channel_.stats().bytes);
+  metrics->GetCounter("accel.dram.busy_cycles", instance)
+      ->Increment(channel_.stats().busy_cycles);
+  const struct {
+    const char* stage;
+    uint64_t cycles;
+  } stages[] = {{"info", stage_.info_cycles},
+                {"fetch", stage_.fetch_cycles},
+                {"sampler", stage_.sampler_cycles},
+                {"pipeline", stage_.pipeline_cycles}};
+  for (const auto& [stage, cycles] : stages) {
+    metrics
+        ->GetCounter("accel.stage.cycles",
+                     {{"instance", std::to_string(instance_id_)},
+                      {"stage", stage}})
+        ->Increment(cycles);
+  }
 }
 
 }  // namespace
@@ -350,7 +475,7 @@ AccelRunStats CycleEngine::Run(std::span<const WalkQuery> queries,
   }
   Cycle makespan = 0;
   for (uint32_t i = 0; i < n; ++i) {
-    Instance instance(graph_, app_, config_,
+    Instance instance(graph_, app_, config_, i,
                       config_.seed + 0x1000003ULL * i);
     const Cycle end =
         instance.Run(shares[i], share_indices[i],

@@ -32,6 +32,26 @@ namespace lightrw::core {
 using apps::WalkQuery;
 using baseline::WalkOutput;
 
+// Cycle attribution for one engine run: where each in-flight step's
+// simulated time went, summed over all slots and instances. These are
+// slot-cycles (many walks are in flight at once), so the total can far
+// exceed the makespan; the *shares* say which stage dominates.
+struct StageCycleStats {
+  uint64_t info_cycles = 0;      // row-index lookup: cache probe + DRAM
+  uint64_t fetch_cycles = 0;     // adjacency stream through the burst engine
+  uint64_t sampler_cycles = 0;   // sampling tail after the last data beat
+  uint64_t pipeline_cycles = 0;  // fixed module-pipeline traversal latency
+
+  uint64_t Total() const {
+    return info_cycles + fetch_cycles + sampler_cycles + pipeline_cycles;
+  }
+  double Share(uint64_t part) const {
+    const uint64_t total = Total();
+    return total == 0 ? 0.0
+                      : static_cast<double>(part) / static_cast<double>(total);
+  }
+};
+
 struct AccelRunStats {
   // Simulated kernel makespan: max over instances, in kernel cycles and
   // seconds. Excludes PCIe transfer (modeled separately, Table 4).
@@ -45,6 +65,7 @@ struct AccelRunStats {
   hwsim::DramStats dram;   // summed over instances
   CacheStats cache;        // summed over instances
   BurstStats burst;        // summed over instances
+  StageCycleStats stage;   // summed over instances
   uint64_t prev_refetches = 0;  // Node2Vec buffer-overflow re-fetches
 
   // Per-query latency in cycles (populated if config.collect_latency).

@@ -75,6 +75,26 @@ std::string FormatRunReport(const RunReportInputs& inputs) {
             static_cast<unsigned long long>(stats.prev_refetches));
   }
 
+  // Where the makespan went: per-stage slot-cycles over all in-flight
+  // steps. Shares reveal the bottleneck stage (DRAM wait vs cache vs
+  // sampler) even though concurrent walks overlap these intervals.
+  if (stats.stage.Total() > 0) {
+    const StageCycleStats& stage = stats.stage;
+    Appendf(&out, "stage attribution (slot-cycles, all in-flight steps):\n");
+    Appendf(&out, "  row lookup (cache+DRAM): %12llu cycles (%5.1f%%)\n",
+            static_cast<unsigned long long>(stage.info_cycles),
+            100.0 * stage.Share(stage.info_cycles));
+    Appendf(&out, "  adjacency fetch (DRAM) : %12llu cycles (%5.1f%%)\n",
+            static_cast<unsigned long long>(stage.fetch_cycles),
+            100.0 * stage.Share(stage.fetch_cycles));
+    Appendf(&out, "  sampler tail (WRS)     : %12llu cycles (%5.1f%%)\n",
+            static_cast<unsigned long long>(stage.sampler_cycles),
+            100.0 * stage.Share(stage.sampler_cycles));
+    Appendf(&out, "  pipeline latency       : %12llu cycles (%5.1f%%)\n",
+            static_cast<unsigned long long>(stage.pipeline_cycles),
+            100.0 * stage.Share(stage.pipeline_cycles));
+  }
+
   // Platform models.
   PcieModel pcie;
   const double transfer_s = pcie.TransferSeconds(

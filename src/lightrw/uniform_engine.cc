@@ -8,6 +8,8 @@
 #include "common/check.h"
 #include "hwsim/dram.h"
 #include "lightrw/vertex_cache.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rng/rng.h"
 
 namespace lightrw::core {
@@ -17,16 +19,39 @@ namespace {
 using graph::VertexId;
 using hwsim::Cycle;
 
+// Trace track layout (tids within one instance's pid); the uniform
+// engine has no sampler stage, so its lanes are a subset of the
+// CycleEngine layout with the same meanings.
+enum UniformTrack : uint32_t {
+  kInfoTrack = 0,
+  kFetchTrack = 1,
+  kRetireTrack = 3,
+  kDramTrack = 4,
+};
+
 // One uniform-walk instance on one DRAM channel.
 class UniformInstance {
  public:
   UniformInstance(const graph::CsrGraph* graph,
-                  const AcceleratorConfig& config, uint64_t seed)
+                  const AcceleratorConfig& config, uint32_t instance_id,
+                  uint64_t seed)
       : graph_(graph),
         config_(config),
+        instance_id_(instance_id),
+        trace_(config.trace),
         channel_(config.dram),
         cache_(MakeVertexCache(config.cache_kind, config.cache_entries)),
-        gen_(seed) {}
+        gen_(seed) {
+    if (trace_ != nullptr) {
+      trace_->NameProcess(instance_id_,
+                          "uniform instance " + std::to_string(instance_id_));
+      trace_->NameTrack(instance_id_, kInfoTrack, "info loader");
+      trace_->NameTrack(instance_id_, kFetchTrack, "neighbor fetch");
+      trace_->NameTrack(instance_id_, kRetireTrack, "retire");
+      trace_->NameTrack(instance_id_, kDramTrack, "dram channel");
+      channel_.AttachTrace(trace_, instance_id_, kDramTrack);
+    }
+  }
 
   Cycle Run(std::span<const apps::WalkQuery> queries,
             std::span<const size_t> global_indices,
@@ -45,9 +70,17 @@ class UniformInstance {
     std::vector<VertexId> path;
   };
 
+  bool tracing() const { return trace_ != nullptr && trace_->accepting(); }
+
   Cycle LookupInfo(Cycle t, VertexId v) {
     if (cache_ != nullptr && cache_->Probe(v)) {
+      if (tracing()) {
+        trace_->Instant("cache_hit", "cache", instance_id_, kInfoTrack, t);
+      }
       return t + 1;
+    }
+    if (cache_ != nullptr && tracing()) {
+      trace_->Instant("cache_miss", "cache", instance_id_, kInfoTrack, t);
     }
     const Cycle done = channel_.Access(t, 1);
     channel_.ReportUseful(graph::kBytesPerRowRecord);
@@ -57,8 +90,13 @@ class UniformInstance {
     return done;
   }
 
+  void PublishMetrics(Cycle makespan, uint64_t queries, uint64_t steps);
+
   const graph::CsrGraph* graph_;
   const AcceleratorConfig& config_;
+  const uint32_t instance_id_;
+  obs::TraceRecorder* trace_;
+  StageCycleStats stage_;
   hwsim::DramChannel channel_;
   std::unique_ptr<VertexCache> cache_;
   rng::Xoshiro256StarStar gen_;
@@ -71,6 +109,8 @@ Cycle UniformInstance::Run(std::span<const apps::WalkQuery> queries,
   if (queries.empty()) {
     return 0;
   }
+  const uint64_t queries_before = stats->queries;
+  const uint64_t steps_before = stats->steps;
   const size_t num_slots =
       std::min<size_t>(std::max<uint32_t>(config_.inflight_queries, 1),
                        queries.size());
@@ -102,6 +142,10 @@ Cycle UniformInstance::Run(std::span<const apps::WalkQuery> queries,
     if (finished != nullptr) {
       (*finished)[global_indices[slot.query_seq]] = std::move(slot.path);
     }
+    if (tracing()) {
+      trace_->Instant("query_retire", "query", instance_id_, kRetireTrack,
+                      at);
+    }
     ++stats->queries;
     makespan = std::max(makespan, at);
     load(slot_index, at);
@@ -122,6 +166,7 @@ Cycle UniformInstance::Run(std::span<const apps::WalkQuery> queries,
         continue;
       }
       const Cycle t_info = LookupInfo(now, slot.curr);
+      stage_.info_cycles += t_info - now;
       if (graph_->Degree(slot.curr) == 0) {
         retire(slot_index, t_info + config_.pipeline_depth_cycles);
         continue;
@@ -137,6 +182,12 @@ Cycle UniformInstance::Run(std::span<const apps::WalkQuery> queries,
     const Cycle done = channel_.Access(now, 1);
     channel_.ReportUseful(graph::kBytesPerEdgeRecord);
     ++stats->edges_examined;  // only the sampled record is touched
+    stage_.fetch_cycles += done - now;
+    stage_.pipeline_cycles += config_.pipeline_depth_cycles;
+    if (tracing()) {
+      trace_->Complete("neighbor_fetch", "fetch", instance_id_, kFetchTrack,
+                       now, done);
+    }
 
     slot.curr = graph_->Neighbors(slot.curr)[pick];
     ++slot.step;
@@ -160,7 +211,50 @@ Cycle UniformInstance::Run(std::span<const apps::WalkQuery> queries,
     stats->cache.hits += cache_->stats().hits;
     stats->cache.misses += cache_->stats().misses;
   }
+  stats->stage.info_cycles += stage_.info_cycles;
+  stats->stage.fetch_cycles += stage_.fetch_cycles;
+  stats->stage.pipeline_cycles += stage_.pipeline_cycles;
+  PublishMetrics(makespan, stats->queries - queries_before,
+                 stats->steps - steps_before);
   return makespan;
+}
+
+void UniformInstance::PublishMetrics(Cycle makespan, uint64_t queries,
+                                     uint64_t steps) {
+  obs::MetricsRegistry* metrics = config_.metrics;
+  if (metrics == nullptr) {
+    return;
+  }
+  const obs::Labels instance = {{"instance", std::to_string(instance_id_)}};
+  metrics->GetCounter("accel.instance.queries", instance)->Increment(queries);
+  metrics->GetCounter("accel.instance.steps", instance)->Increment(steps);
+  metrics->GetGauge("accel.instance.cycles", instance)
+      ->Set(static_cast<double>(makespan));
+  if (cache_ != nullptr) {
+    metrics->GetCounter("accel.cache.hits", instance)
+        ->Increment(cache_->stats().hits);
+    metrics->GetCounter("accel.cache.misses", instance)
+        ->Increment(cache_->stats().misses);
+  }
+  metrics->GetCounter("accel.dram.requests", instance)
+      ->Increment(channel_.stats().requests);
+  metrics->GetCounter("accel.dram.bytes", instance)
+      ->Increment(channel_.stats().bytes);
+  metrics->GetCounter("accel.dram.busy_cycles", instance)
+      ->Increment(channel_.stats().busy_cycles);
+  const struct {
+    const char* stage;
+    uint64_t cycles;
+  } stages[] = {{"info", stage_.info_cycles},
+                {"fetch", stage_.fetch_cycles},
+                {"pipeline", stage_.pipeline_cycles}};
+  for (const auto& [stage, cycles] : stages) {
+    metrics
+        ->GetCounter("accel.stage.cycles",
+                     {{"instance", std::to_string(instance_id_)},
+                      {"stage", stage}})
+        ->Increment(cycles);
+  }
 }
 
 }  // namespace
@@ -189,7 +283,7 @@ AccelRunStats UniformCycleEngine::Run(
   }
   Cycle makespan = 0;
   for (uint32_t i = 0; i < n; ++i) {
-    UniformInstance instance(graph_, config_,
+    UniformInstance instance(graph_, config_, i,
                              config_.seed + 0x7001ULL * (i + 1));
     makespan = std::max(
         makespan, instance.Run(shares[i], share_indices[i],

@@ -1,0 +1,521 @@
+#include "obs/json.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace lightrw::obs {
+
+bool Json::bool_value() const {
+  LIGHTRW_CHECK(kind_ == Kind::kBool);
+  return bool_;
+}
+
+int64_t Json::int_value() const {
+  switch (kind_) {
+    case Kind::kInt:
+      return int_;
+    case Kind::kUint:
+      return static_cast<int64_t>(uint_);
+    case Kind::kDouble:
+      return static_cast<int64_t>(double_);
+    default:
+      LIGHTRW_CHECK(false && "Json::int_value on non-number");
+      return 0;
+  }
+}
+
+uint64_t Json::uint_value() const {
+  switch (kind_) {
+    case Kind::kInt:
+      return static_cast<uint64_t>(int_);
+    case Kind::kUint:
+      return uint_;
+    case Kind::kDouble:
+      return static_cast<uint64_t>(double_);
+    default:
+      LIGHTRW_CHECK(false && "Json::uint_value on non-number");
+      return 0;
+  }
+}
+
+double Json::double_value() const {
+  switch (kind_) {
+    case Kind::kInt:
+      return static_cast<double>(int_);
+    case Kind::kUint:
+      return static_cast<double>(uint_);
+    case Kind::kDouble:
+      return double_;
+    default:
+      LIGHTRW_CHECK(false && "Json::double_value on non-number");
+      return 0.0;
+  }
+}
+
+const std::string& Json::string_value() const {
+  LIGHTRW_CHECK(kind_ == Kind::kString);
+  return string_;
+}
+
+const Json::Array& Json::array() const {
+  LIGHTRW_CHECK(kind_ == Kind::kArray);
+  return array_;
+}
+
+const Json::Object& Json::object() const {
+  LIGHTRW_CHECK(kind_ == Kind::kObject);
+  return object_;
+}
+
+Json& Json::Set(std::string key, Json value) {
+  LIGHTRW_CHECK(kind_ == Kind::kObject);
+  for (auto& [k, v] : object_) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  object_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+const Json* Json::Find(std::string_view key) const {
+  if (kind_ != Kind::kObject) {
+    return nullptr;
+  }
+  for (const auto& [k, v] : object_) {
+    if (k == key) {
+      return &v;
+    }
+  }
+  return nullptr;
+}
+
+Json& Json::Append(Json value) {
+  LIGHTRW_CHECK(kind_ == Kind::kArray);
+  array_.push_back(std::move(value));
+  return *this;
+}
+
+size_t Json::size() const {
+  if (kind_ == Kind::kArray) {
+    return array_.size();
+  }
+  if (kind_ == Kind::kObject) {
+    return object_.size();
+  }
+  return 0;
+}
+
+void AppendJsonEscaped(std::string* out, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+namespace {
+
+void AppendDouble(std::string* out, double value) {
+  if (!std::isfinite(value)) {
+    // JSON has no Inf/NaN; emit null like most tolerant encoders.
+    *out += "null";
+    return;
+  }
+  char buf[32];
+  const auto result =
+      std::to_chars(buf, buf + sizeof(buf), value);  // shortest round-trip
+  out->append(buf, result.ptr);
+}
+
+void AppendNewlineIndent(std::string* out, int indent, int depth) {
+  if (indent >= 0) {
+    *out += '\n';
+    out->append(static_cast<size_t>(indent) * depth, ' ');
+  }
+}
+
+}  // namespace
+
+void Json::DumpTo(std::string* out, int indent, int depth) const {
+  switch (kind_) {
+    case Kind::kNull:
+      *out += "null";
+      return;
+    case Kind::kBool:
+      *out += bool_ ? "true" : "false";
+      return;
+    case Kind::kInt: {
+      char buf[24];
+      const auto result = std::to_chars(buf, buf + sizeof(buf), int_);
+      out->append(buf, result.ptr);
+      return;
+    }
+    case Kind::kUint: {
+      char buf[24];
+      const auto result = std::to_chars(buf, buf + sizeof(buf), uint_);
+      out->append(buf, result.ptr);
+      return;
+    }
+    case Kind::kDouble:
+      AppendDouble(out, double_);
+      return;
+    case Kind::kString:
+      *out += '"';
+      AppendJsonEscaped(out, string_);
+      *out += '"';
+      return;
+    case Kind::kArray: {
+      if (array_.empty()) {
+        *out += "[]";
+        return;
+      }
+      *out += '[';
+      for (size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) {
+          *out += ',';
+        }
+        AppendNewlineIndent(out, indent, depth + 1);
+        array_[i].DumpTo(out, indent, depth + 1);
+      }
+      AppendNewlineIndent(out, indent, depth);
+      *out += ']';
+      return;
+    }
+    case Kind::kObject: {
+      if (object_.empty()) {
+        *out += "{}";
+        return;
+      }
+      *out += '{';
+      bool first = true;
+      for (const auto& [key, value] : object_) {
+        if (!first) {
+          *out += ',';
+        }
+        first = false;
+        AppendNewlineIndent(out, indent, depth + 1);
+        *out += '"';
+        AppendJsonEscaped(out, key);
+        *out += indent >= 0 ? "\": " : "\":";
+        value.DumpTo(out, indent, depth + 1);
+      }
+      AppendNewlineIndent(out, indent, depth);
+      *out += '}';
+      return;
+    }
+  }
+}
+
+std::string Json::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parser: recursive descent with a depth limit.
+
+namespace {
+
+constexpr int kMaxParseDepth = 64;
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  StatusOr<Json> ParseDocument() {
+    auto value = ParseValue(0);
+    if (!value.ok()) {
+      return value;
+    }
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after document");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    return InvalidArgumentError("json parse error at offset " +
+                                std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) == literal) {
+      pos_ += literal.size();
+      return true;
+    }
+    return false;
+  }
+
+  StatusOr<Json> ParseValue(int depth) {
+    if (depth > kMaxParseDepth) {
+      return Error("nesting too deep");
+    }
+    SkipWhitespace();
+    if (pos_ >= text_.size()) {
+      return Error("unexpected end of input");
+    }
+    const char c = text_[pos_];
+    if (c == '{') {
+      return ParseObject(depth);
+    }
+    if (c == '[') {
+      return ParseArray(depth);
+    }
+    if (c == '"') {
+      auto str = ParseString();
+      if (!str.ok()) {
+        return str.status();
+      }
+      return Json(std::move(str).value());
+    }
+    if (ConsumeLiteral("null")) {
+      return Json();
+    }
+    if (ConsumeLiteral("true")) {
+      return Json(true);
+    }
+    if (ConsumeLiteral("false")) {
+      return Json(false);
+    }
+    return ParseNumber();
+  }
+
+  StatusOr<Json> ParseObject(int depth) {
+    LIGHTRW_CHECK(Consume('{'));
+    Json out = Json::MakeObject();
+    SkipWhitespace();
+    if (Consume('}')) {
+      return out;
+    }
+    while (true) {
+      SkipWhitespace();
+      auto key = ParseString();
+      if (!key.ok()) {
+        return key.status();
+      }
+      SkipWhitespace();
+      if (!Consume(':')) {
+        return Error("expected ':' in object");
+      }
+      auto value = ParseValue(depth + 1);
+      if (!value.ok()) {
+        return value;
+      }
+      out.Set(std::move(key).value(), std::move(value).value());
+      SkipWhitespace();
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume('}')) {
+        return out;
+      }
+      return Error("expected ',' or '}' in object");
+    }
+  }
+
+  StatusOr<Json> ParseArray(int depth) {
+    LIGHTRW_CHECK(Consume('['));
+    Json out = Json::MakeArray();
+    SkipWhitespace();
+    if (Consume(']')) {
+      return out;
+    }
+    while (true) {
+      auto value = ParseValue(depth + 1);
+      if (!value.ok()) {
+        return value;
+      }
+      out.Append(std::move(value).value());
+      SkipWhitespace();
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume(']')) {
+        return out;
+      }
+      return Error("expected ',' or ']' in array");
+    }
+  }
+
+  StatusOr<std::string> ParseString() {
+    if (!Consume('"')) {
+      return Error("expected string");
+    }
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        break;
+      }
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return Error("truncated \\u escape");
+          }
+          unsigned code = 0;
+          const auto result = std::from_chars(
+              text_.data() + pos_, text_.data() + pos_ + 4, code, 16);
+          if (result.ptr != text_.data() + pos_ + 4) {
+            return Error("bad \\u escape");
+          }
+          pos_ += 4;
+          // Only BMP code points below 0x80 are emitted by our encoder;
+          // decode the rest as UTF-8 for completeness.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return Error("bad escape character");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  StatusOr<Json> ParseNumber() {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    bool is_double = false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '-' || c == '+') {
+        is_double = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    const std::string_view token = text_.substr(start, pos_ - start);
+    if (token.empty()) {
+      return Error("expected value");
+    }
+    if (!is_double) {
+      if (token[0] != '-') {
+        uint64_t value = 0;
+        const auto result = std::from_chars(
+            token.data(), token.data() + token.size(), value);
+        if (result.ec == std::errc() &&
+            result.ptr == token.data() + token.size()) {
+          return Json(value);
+        }
+      } else {
+        int64_t value = 0;
+        const auto result = std::from_chars(
+            token.data(), token.data() + token.size(), value);
+        if (result.ec == std::errc() &&
+            result.ptr == token.data() + token.size()) {
+          return Json(value);
+        }
+      }
+    }
+    double value = 0.0;
+    const auto result =
+        std::from_chars(token.data(), token.data() + token.size(), value);
+    if (result.ec != std::errc() ||
+        result.ptr != token.data() + token.size()) {
+      return Error("malformed number");
+    }
+    return Json(value);
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<Json> Json::Parse(std::string_view text) {
+  return Parser(text).ParseDocument();
+}
+
+}  // namespace lightrw::obs

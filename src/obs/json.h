@@ -1,0 +1,123 @@
+// Minimal JSON document type shared by the observability exporters.
+//
+// Every machine-readable artifact this repository emits — metrics
+// snapshots, Chrome trace_event files, BENCH_*.json records — goes
+// through this one value type so the encoding rules live in one place:
+// objects preserve insertion order (byte-stable output for a given build
+// sequence), integers are emitted exactly, and doubles use the shortest
+// round-trip representation. A small parser is included so tests can
+// validate emitted documents without external dependencies.
+
+#ifndef LIGHTRW_OBS_JSON_H_
+#define LIGHTRW_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace lightrw::obs {
+
+// A JSON document: null, bool, integer, double, string, array, or object.
+// Integers are kept separate from doubles so counters round-trip exactly.
+class Json {
+ public:
+  enum class Kind {
+    kNull,
+    kBool,
+    kInt,     // signed 64-bit
+    kUint,    // unsigned 64-bit (counters)
+    kDouble,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  using Array = std::vector<Json>;
+  // Insertion-ordered key/value list. Lookups are linear, which is fine
+  // for the document sizes involved (metric snapshots, bench records).
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  Json() : kind_(Kind::kNull) {}
+  Json(bool value) : kind_(Kind::kBool), bool_(value) {}          // NOLINT
+  Json(int value) : kind_(Kind::kInt), int_(value) {}             // NOLINT
+  Json(int64_t value) : kind_(Kind::kInt), int_(value) {}         // NOLINT
+  Json(uint64_t value) : kind_(Kind::kUint), uint_(value) {}      // NOLINT
+  Json(double value) : kind_(Kind::kDouble), double_(value) {}    // NOLINT
+  Json(std::string value)                                         // NOLINT
+      : kind_(Kind::kString), string_(std::move(value)) {}
+  Json(const char* value) : kind_(Kind::kString), string_(value) {}  // NOLINT
+
+  static Json MakeArray() {
+    Json j;
+    j.kind_ = Kind::kArray;
+    return j;
+  }
+  static Json MakeObject() {
+    Json j;
+    j.kind_ = Kind::kObject;
+    return j;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const {
+    return kind_ == Kind::kInt || kind_ == Kind::kUint ||
+           kind_ == Kind::kDouble;
+  }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  // Typed accessors; the value must hold the matching kind (numbers
+  // convert between the three numeric kinds).
+  bool bool_value() const;
+  int64_t int_value() const;
+  uint64_t uint_value() const;
+  double double_value() const;
+  const std::string& string_value() const;
+  const Array& array() const;
+  const Object& object() const;
+
+  // Object editing: appends, or replaces an existing key in place.
+  // Returns *this so builders can chain.
+  Json& Set(std::string key, Json value);
+  // Null if the key is absent (object-kind values only).
+  const Json* Find(std::string_view key) const;
+
+  // Array editing.
+  Json& Append(Json value);
+
+  // Elements / members count; 0 for scalars.
+  size_t size() const;
+
+  // Serializes the document. indent < 0 emits the compact single-line
+  // form; indent >= 0 pretty-prints with that many spaces per level.
+  std::string Dump(int indent = -1) const;
+
+  // Parses a complete JSON document (trailing garbage is an error).
+  static StatusOr<Json> Parse(std::string_view text);
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  uint64_t uint_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+// Appends the JSON escaping of `text` (without surrounding quotes).
+void AppendJsonEscaped(std::string* out, std::string_view text);
+
+}  // namespace lightrw::obs
+
+#endif  // LIGHTRW_OBS_JSON_H_

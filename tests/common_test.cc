@@ -111,6 +111,40 @@ TEST(SampleStatsTest, QuantileInterpolation) {
   EXPECT_DOUBLE_EQ(stats.Quantile(1.0), 10.0);
 }
 
+TEST(SampleStatsTest, EmptyAccumulatorIsDefined) {
+  SampleStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.Min(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.Max(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.Median(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.Quantile(0.99), 0.0);
+  EXPECT_DOUBLE_EQ(stats.StdDev(), 0.0);
+  EXPECT_TRUE(stats.sorted_samples().empty());
+}
+
+TEST(SampleStatsTest, SingleSample) {
+  SampleStats stats;
+  stats.Add(7.5);
+  EXPECT_EQ(stats.count(), 1u);
+  EXPECT_DOUBLE_EQ(stats.Mean(), 7.5);
+  EXPECT_DOUBLE_EQ(stats.Min(), 7.5);
+  EXPECT_DOUBLE_EQ(stats.Max(), 7.5);
+  EXPECT_DOUBLE_EQ(stats.Quantile(0.0), 7.5);
+  EXPECT_DOUBLE_EQ(stats.Quantile(0.5), 7.5);
+  EXPECT_DOUBLE_EQ(stats.Quantile(1.0), 7.5);
+  EXPECT_DOUBLE_EQ(stats.StdDev(), 0.0);
+}
+
+TEST(SampleStatsTest, SortedSamplesAccessor) {
+  SampleStats stats;
+  stats.Add(3.0);
+  stats.Add(1.0);
+  stats.Add(2.0);
+  const std::vector<double> expected = {1.0, 2.0, 3.0};
+  EXPECT_EQ(stats.sorted_samples(), expected);
+}
+
 TEST(SampleStatsTest, QuantileAfterInterleavedAdds) {
   SampleStats stats;
   stats.Add(5.0);

@@ -1,0 +1,149 @@
+// Integration tests for the observability wiring: FormatRunReport's
+// stage-attribution section, the CycleEngine trace export, and metric
+// snapshot determinism under a fixed seed.
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "apps/walk_app.h"
+#include "graph/generators.h"
+#include "lightrw/cycle_engine.h"
+#include "lightrw/report.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace lightrw {
+namespace {
+
+graph::CsrGraph TestGraph() {
+  graph::RmatOptions options;
+  options.scale = 9;
+  options.seed = 7;
+  return graph::GenerateRmat(options);
+}
+
+core::AccelRunStats RunInstrumented(const graph::CsrGraph& g,
+                                    obs::MetricsRegistry* metrics,
+                                    obs::TraceRecorder* trace) {
+  apps::Node2VecApp app(2.0, 0.5);
+  core::AcceleratorConfig config;
+  config.seed = 99;
+  config.metrics = metrics;
+  config.trace = trace;
+  core::CycleEngine engine(&g, &app, config);
+  const auto queries = apps::MakeVertexQueries(g, /*length=*/8,
+                                               /*seed=*/99, /*count=*/128);
+  return engine.Run(queries);
+}
+
+TEST(ReportObsTest, RunReportNamesStageAttribution) {
+  const graph::CsrGraph g = TestGraph();
+  const core::AccelRunStats stats = RunInstrumented(g, nullptr, nullptr);
+  ASSERT_GT(stats.stage.Total(), 0u);
+
+  apps::Node2VecApp app(2.0, 0.5);
+  core::AcceleratorConfig config;
+  core::RunReportInputs inputs;
+  inputs.graph = &g;
+  inputs.config = &config;
+  inputs.stats = &stats;
+  inputs.app_name = app.name();
+  inputs.num_queries = 128;
+  inputs.query_length = 8;
+  const std::string report = core::FormatRunReport(inputs);
+
+  EXPECT_NE(report.find("stage attribution"), std::string::npos);
+  EXPECT_NE(report.find("row lookup"), std::string::npos);
+  EXPECT_NE(report.find("adjacency fetch"), std::string::npos);
+  EXPECT_NE(report.find("sampler tail"), std::string::npos);
+  EXPECT_NE(report.find("pipeline latency"), std::string::npos);
+  // Shares are percentages of the stage total, so each is <= 100.
+  EXPECT_LE(stats.stage.Share(stats.stage.info_cycles), 1.0);
+  EXPECT_LE(stats.stage.Share(stats.stage.fetch_cycles), 1.0);
+}
+
+TEST(ReportObsTest, TraceCoversEveryPipelineStage) {
+  const graph::CsrGraph g = TestGraph();
+  obs::TraceRecorder trace;
+  RunInstrumented(g, nullptr, &trace);
+  ASSERT_GT(trace.num_events(), 0u);
+
+  const auto parsed = obs::Json::Parse(trace.ToJsonString());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const obs::Json* events = parsed.value().Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+
+  std::set<std::string> names;
+  std::map<std::pair<uint64_t, uint64_t>, uint64_t> last_ts_per_track;
+  for (const obs::Json& event : events->array()) {
+    const std::string& phase = event.Find("ph")->string_value();
+    if (phase == "M") {
+      continue;
+    }
+    names.insert(event.Find("name")->string_value());
+    // Timestamps must be monotone within each (pid, tid) track.
+    const auto track = std::make_pair(event.Find("pid")->uint_value(),
+                                      event.Find("tid")->uint_value());
+    const uint64_t ts = event.Find("ts")->uint_value();
+    const auto it = last_ts_per_track.find(track);
+    if (it != last_ts_per_track.end()) {
+      EXPECT_GE(ts, it->second);
+    }
+    last_ts_per_track[track] = ts;
+  }
+
+  // At least one event from every pipeline stage.
+  EXPECT_TRUE(names.count("row_lookup"));
+  EXPECT_TRUE(names.count("adjacency_fetch"));
+  EXPECT_TRUE(names.count("wrs_consume"));
+  EXPECT_TRUE(names.count("dram_request"));
+  EXPECT_TRUE(names.count("query_retire"));
+  // The cache is on by default, so probes show up too.
+  EXPECT_TRUE(names.count("cache_hit") || names.count("cache_miss"));
+}
+
+TEST(ReportObsTest, MetricsSnapshotIsDeterministicUnderFixedSeed) {
+  const graph::CsrGraph g = TestGraph();
+  obs::MetricsRegistry first;
+  obs::MetricsRegistry second;
+  RunInstrumented(g, &first, nullptr);
+  RunInstrumented(g, &second, nullptr);
+  EXPECT_EQ(first.ToJsonString(), second.ToJsonString());
+  EXPECT_GT(first.NumMetrics(), 0u);
+
+  const auto parsed = obs::Json::Parse(first.ToJsonString());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+
+  // The per-instance step counters must sum to the run's step total.
+  const core::AccelRunStats stats = RunInstrumented(g, nullptr, nullptr);
+  uint64_t steps = 0;
+  for (const obs::Json& metric :
+       parsed.value().Find("metrics")->array()) {
+    if (metric.Find("name")->string_value() == "accel.instance.steps") {
+      steps += metric.Find("value")->uint_value();
+    }
+  }
+  EXPECT_EQ(steps, stats.steps);
+}
+
+TEST(ReportObsTest, TraceCapBoundsEngineRun) {
+  const graph::CsrGraph g = TestGraph();
+  obs::TraceConfig config;
+  config.max_events = 100;
+  obs::TraceRecorder trace(config);
+  RunInstrumented(g, nullptr, &trace);
+  // The engine checks accepting() before emitting, so the run stops at
+  // exactly the cap instead of counting drops in the recorder.
+  EXPECT_EQ(trace.num_events(), 100u);
+  EXPECT_FALSE(trace.accepting());
+  // The export must still be valid JSON.
+  EXPECT_TRUE(obs::Json::Parse(trace.ToJsonString()).ok());
+}
+
+}  // namespace
+}  // namespace lightrw
