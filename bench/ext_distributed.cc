@@ -53,7 +53,7 @@ void DistributedBench(benchmark::State& state, PartitionStrategy strategy,
   row.cut_ratio = partition.CutRatio(g);
   for (auto _ : state) {
     DistributedEngine engine(&g, app.get(), &partition, config);
-    const auto stats = engine.Run(queries);
+    const auto stats = engine.Run(queries).value();
     row.msteps_per_s = stats.StepsPerSecond() / 1e6;
     row.migration_ratio = stats.MigrationRatio();
   }
@@ -79,7 +79,7 @@ void ReplicatedBench(benchmark::State& state) {
   row.cut_ratio = 0.0;
   for (auto _ : state) {
     DistributedEngine engine(&g, app.get(), &partition, config);
-    const auto stats = engine.Run(queries);
+    const auto stats = engine.Run(queries).value();
     row.msteps_per_s = stats.StepsPerSecond() / 1e6;
     row.migration_ratio = stats.MigrationRatio();
   }

@@ -45,7 +45,7 @@ int main() {
       config.replicate_graph = mode.replicate;
       distributed::DistributedEngine engine(&graph, &app, &partition,
                                             config);
-      const auto stats = engine.Run(queries);
+      const auto stats = engine.Run(queries).value();
       char migrations[32], cut[32];
       std::snprintf(migrations, sizeof(migrations), "%.1f%%",
                     stats.MigrationRatio() * 100.0);

@@ -5,6 +5,10 @@
 //   ./examples/walk_tool --help
 //   ./examples/walk_tool --graph edges.txt --app node2vec --length 40
 //       --queries 10000 --engine lightrw --out corpus.txt  (one line)
+//
+// Fault injection (--fault-*) drives the reliability subsystem: DRAM ECC
+// errors on any simulated engine, plus link faults and board failures on
+// --engine distributed. A run that loses walk data exits non-zero.
 
 #include <cstdio>
 #include <memory>
@@ -15,13 +19,17 @@
 #include "baseline/engine.h"
 #include "common/flags.h"
 #include "common/timer.h"
+#include "distributed/dist_engine.h"
+#include "distributed/partition.h"
 #include "graph/generators.h"
 #include "graph/io.h"
+#include "lightrw/config_validation.h"
 #include "lightrw/cycle_engine.h"
 #include "lightrw/report.h"
 #include "lightrw/functional_engine.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "reliability/fault_injector.h"
 
 namespace {
 
@@ -48,25 +56,80 @@ std::unique_ptr<apps::WalkApp> MakeApp(const std::string& name,
   return nullptr;
 }
 
+// Fault schedule from the --fault-* flags. Any non-default fault flag
+// enables the subsystem; otherwise it stays fully disabled and the run
+// is bit-identical to one without it.
+reliability::FaultConfig FaultsFromFlags(const FlagParser& flags) {
+  reliability::FaultConfig faults;
+  faults.seed = static_cast<uint64_t>(flags.GetInt("fault-seed"));
+  faults.dram_correctable_rate = flags.GetDouble("fault-dram-correctable");
+  faults.dram_uncorrectable_rate =
+      flags.GetDouble("fault-dram-uncorrectable");
+  faults.link_drop_rate = flags.GetDouble("fault-link-drop");
+  faults.link_corrupt_rate = flags.GetDouble("fault-link-corrupt");
+  faults.fail_cycle = static_cast<uint64_t>(flags.GetInt("fault-fail-cycle"));
+  faults.fail_board =
+      static_cast<uint32_t>(flags.GetInt("fault-fail-board"));
+  faults.checkpoint_interval_cycles =
+      static_cast<uint64_t>(flags.GetInt("fault-checkpoint-interval"));
+  faults.enabled = flags.GetBool("faults") ||
+                   faults.dram_correctable_rate != 0.0 ||
+                   faults.dram_uncorrectable_rate != 0.0 ||
+                   faults.link_drop_rate != 0.0 ||
+                   faults.link_corrupt_rate != 0.0 || faults.fail_cycle > 0;
+  return faults;
+}
+
+void PrintReliabilitySummary(const reliability::ReliabilityStats& rel) {
+  if (!rel.Any()) {
+    return;
+  }
+  std::printf(
+      "reliability: %llu fault(s) injected (%llu ecc, %llu link, %llu "
+      "board), %llu retransmission(s), %llu recovered, %llu lost, %llu "
+      "walk(s) failed\n",
+      static_cast<unsigned long long>(rel.FaultsInjected()),
+      static_cast<unsigned long long>(rel.dram_correctable +
+                                      rel.dram_uncorrectable),
+      static_cast<unsigned long long>(rel.link_dropped + rel.link_corrupted),
+      static_cast<unsigned long long>(rel.board_failures),
+      static_cast<unsigned long long>(rel.retransmissions),
+      static_cast<unsigned long long>(rel.walkers_recovered),
+      static_cast<unsigned long long>(rel.walkers_lost),
+      static_cast<unsigned long long>(rel.walks_failed));
+}
+
+// Non-zero exit when the run lost walk data to injected faults.
+int ReliabilityExitCode(const reliability::ReliabilityStats& rel) {
+  const Status status = reliability::ReliabilityStatus(rel);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   FlagParser flags;
   flags.Define("graph", "edge list file to load (empty: generate rmat)", "");
-  flags.Define("undirected", "treat the edge list as undirected", "false");
-  flags.Define("rmat_scale", "generated graph scale (2^scale vertices)",
-               "14");
+  flags.DefineBool("undirected", "treat the edge list as undirected", false);
+  flags.DefineInt("rmat_scale", "generated graph scale (2^scale vertices)",
+                  14);
   flags.Define("app", "walk app: deepwalk|node2vec|metapath|ppr",
                "node2vec");
-  flags.Define("engine", "walk engine: cpu|lightrw|lightrw-sim", "lightrw");
-  flags.Define("length", "walk length (steps)", "40");
-  flags.Define("queries", "number of queries (0 = one per vertex)", "0");
-  flags.Define("p", "node2vec return parameter", "2.0");
-  flags.Define("q", "node2vec in-out parameter", "0.5");
-  flags.Define("alpha", "ppr stop probability", "0.15");
-  flags.Define("seed", "random seed", "42");
+  flags.Define("engine",
+               "walk engine: cpu|lightrw|lightrw-sim|distributed",
+               "lightrw");
+  flags.DefineInt("length", "walk length (steps)", 40);
+  flags.DefineInt("queries", "number of queries (0 = one per vertex)", 0);
+  flags.DefineDouble("p", "node2vec return parameter", 2.0);
+  flags.DefineDouble("q", "node2vec in-out parameter", 0.5);
+  flags.DefineDouble("alpha", "ppr stop probability", 0.15);
+  flags.DefineInt("seed", "random seed", 42);
   flags.Define("out", "write the walk corpus to this file (text)", "");
-  flags.Define("report", "print the full accelerator run report", "false");
+  flags.DefineBool("report", "print the full accelerator run report", false);
   flags.Define("metrics-out",
                "write a metrics snapshot (JSON; .prom suffix selects "
                "Prometheus text) to this file",
@@ -75,9 +138,37 @@ int main(int argc, char** argv) {
                "write a Chrome trace_event JSON file (open in Perfetto) "
                "of the simulated pipeline to this file",
                "");
-  flags.Define("trace-limit", "max trace events kept (0 = disable)",
-               "1048576");
-  flags.Define("help", "print usage", "false");
+  flags.DefineInt("trace-limit", "max trace events kept (0 = disable)",
+                  1048576);
+  flags.DefineInt("boards", "simulated boards (engine=distributed)", 4);
+  flags.Define("partition",
+               "graph partitioning strategy: hash|range|greedy "
+               "(engine=distributed)",
+               "greedy");
+  flags.DefineBool("replicate",
+                   "replicate the full graph on every board "
+                   "(engine=distributed)",
+                   false);
+  flags.DefineBool("faults", "enable the fault-injection subsystem", false);
+  flags.DefineInt("fault-seed", "fault schedule seed", 1);
+  flags.DefineDouble("fault-dram-correctable",
+                     "correctable ECC error probability per DRAM access",
+                     0.0);
+  flags.DefineDouble("fault-dram-uncorrectable",
+                     "uncorrectable ECC error probability per DRAM access",
+                     0.0);
+  flags.DefineDouble("fault-link-drop",
+                     "message drop probability per link send", 0.0);
+  flags.DefineDouble("fault-link-corrupt",
+                     "message corruption probability per link send", 0.0);
+  flags.DefineInt("fault-fail-cycle",
+                  "kill one board at this simulated cycle (0 = never)", 0);
+  flags.DefineInt("fault-fail-board", "which board to kill", 0);
+  flags.DefineInt("fault-checkpoint-interval",
+                  "walker checkpoint cadence in cycles (0 = no "
+                  "checkpoints: recovering walkers lose their walk)",
+                  65536);
+  flags.DefineBool("help", "print usage", false);
 
   const Status parsed = flags.Parse(argc, argv);
   if (!parsed.ok()) {
@@ -102,8 +193,14 @@ int main(int argc, char** argv) {
     }
     g = std::move(loaded).value();
   } else {
+    const int64_t scale = flags.GetInt("rmat_scale");
+    if (scale < 1 || scale > 28) {
+      std::fprintf(stderr, "--rmat_scale must be in [1, 28], got %lld\n",
+                   static_cast<long long>(scale));
+      return 1;
+    }
     graph::RmatOptions options;
-    options.scale = static_cast<uint32_t>(flags.GetInt("rmat_scale"));
+    options.scale = static_cast<uint32_t>(scale);
     options.seed = flags.GetInt("seed");
     g = graph::GenerateRmat(options);
   }
@@ -111,21 +208,31 @@ int main(int argc, char** argv) {
 
   const auto app = MakeApp(flags.GetString("app"), g, flags);
   if (app == nullptr) {
-    std::fprintf(stderr, "unknown app '%s'\n",
+    std::fprintf(stderr, "unknown app '%s' (expected "
+                 "deepwalk|node2vec|metapath|ppr)\n",
                  flags.GetString("app").c_str());
     return 1;
   }
 
-  const uint32_t length = static_cast<uint32_t>(flags.GetInt("length"));
+  const int64_t raw_length = flags.GetInt("length");
+  const int64_t raw_queries = flags.GetInt("queries");
+  if (raw_length < 1 || raw_queries < 0) {
+    std::fprintf(stderr,
+                 "--length must be >= 1 and --queries >= 0 (got %lld, "
+                 "%lld)\n",
+                 static_cast<long long>(raw_length),
+                 static_cast<long long>(raw_queries));
+    return 1;
+  }
+  const uint32_t length = static_cast<uint32_t>(raw_length);
   const auto queries = apps::MakeVertexQueries(
-      g, length, flags.GetInt("seed"),
-      static_cast<size_t>(flags.GetInt("queries")));
+      g, length, flags.GetInt("seed"), static_cast<size_t>(raw_queries));
   std::printf("app %s, %zu queries of length %u, engine %s\n",
               app->name().c_str(), queries.size(), length,
               flags.GetString("engine").c_str());
 
   // Observability sinks, shared by every engine path. The trace only
-  // fills for the cycle-accurate engine (the CPU path has no simulated
+  // fills for the cycle-accurate engines (the CPU path has no simulated
   // clock to stamp events with).
   obs::MetricsRegistry metrics;
   obs::TraceConfig trace_config;
@@ -134,9 +241,11 @@ int main(int argc, char** argv) {
   obs::TraceRecorder trace(trace_config);
   const std::string metrics_out = flags.GetString("metrics-out");
   const std::string trace_out = flags.GetString("trace-out");
+  const reliability::FaultConfig faults = FaultsFromFlags(flags);
 
   baseline::WalkOutput corpus;
   WallTimer timer;
+  int exit_code = 0;
   const std::string engine = flags.GetString("engine");
   if (engine == "cpu") {
     baseline::BaselineConfig config;
@@ -150,11 +259,19 @@ int main(int argc, char** argv) {
   } else if (engine == "lightrw-sim") {
     core::AcceleratorConfig config;
     config.seed = flags.GetInt("seed");
+    config.faults = faults;
     if (!metrics_out.empty()) {
       config.metrics = &metrics;
     }
     if (!trace_out.empty()) {
       config.trace = &trace;
+    }
+    const Status valid =
+        core::ValidateConfig(config, app->needs_prev_neighbors());
+    if (!valid.ok()) {
+      std::fprintf(stderr, "invalid configuration: %s\n",
+                   valid.ToString().c_str());
+      return 1;
     }
     core::CycleEngine accel(&g, app.get(), config);
     const auto stats = accel.Run(queries, &corpus);
@@ -164,6 +281,7 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(stats.steps),
         static_cast<unsigned long long>(stats.cycles), stats.seconds,
         stats.StepsPerSecond() / 1e6);
+    PrintReliabilitySummary(stats.reliability);
     if (flags.GetBool("report")) {
       core::RunReportInputs report;
       report.graph = &g;
@@ -175,7 +293,63 @@ int main(int argc, char** argv) {
       report.query_length = length;
       std::fputs(core::FormatRunReport(report).c_str(), stdout);
     }
-  } else {
+    exit_code = ReliabilityExitCode(stats.reliability);
+  } else if (engine == "distributed") {
+    const int64_t boards = flags.GetInt("boards");
+    if (boards < 1 || boards > 1024) {
+      std::fprintf(stderr, "--boards must be in [1, 1024], got %lld\n",
+                   static_cast<long long>(boards));
+      return 1;
+    }
+    const std::string strategy_name = flags.GetString("partition");
+    distributed::PartitionStrategy strategy;
+    if (strategy_name == "hash") {
+      strategy = distributed::PartitionStrategy::kHash;
+    } else if (strategy_name == "range") {
+      strategy = distributed::PartitionStrategy::kRange;
+    } else if (strategy_name == "greedy") {
+      strategy = distributed::PartitionStrategy::kGreedy;
+    } else {
+      std::fprintf(stderr,
+                   "unknown partition strategy '%s' (expected "
+                   "hash|range|greedy)\n",
+                   strategy_name.c_str());
+      return 1;
+    }
+    const distributed::Partition partition = distributed::MakePartition(
+        g, static_cast<distributed::BoardId>(boards), strategy);
+    distributed::DistributedConfig config;
+    config.board.num_instances = 1;
+    config.board.seed = flags.GetInt("seed");
+    config.board.faults = faults;
+    config.replicate_graph = flags.GetBool("replicate");
+    if (!metrics_out.empty()) {
+      config.board.metrics = &metrics;
+    }
+    if (!trace_out.empty()) {
+      config.board.trace = &trace;
+    }
+    distributed::DistributedEngine accel(&g, app.get(), &partition, config);
+    const auto result = accel.Run(queries, &corpus);
+    if (!result.ok()) {
+      std::fprintf(stderr, "distributed run failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    const auto& stats = *result;
+    std::printf(
+        "distributed (%lld board(s), %s): %llu steps, %llu migrations "
+        "(%.1f%%), %llu cycles = %.4fs simulated (%.2f Msteps/s)\n",
+        static_cast<long long>(boards),
+        config.replicate_graph ? "replicated" : strategy_name.c_str(),
+        static_cast<unsigned long long>(stats.steps),
+        static_cast<unsigned long long>(stats.migrations),
+        stats.MigrationRatio() * 100.0,
+        static_cast<unsigned long long>(stats.cycles), stats.seconds,
+        stats.StepsPerSecond() / 1e6);
+    PrintReliabilitySummary(stats.reliability);
+    exit_code = ReliabilityExitCode(stats.reliability);
+  } else if (engine == "lightrw") {
     core::AcceleratorConfig config;
     config.seed = flags.GetInt("seed");
     core::FunctionalEngine accel(&g, app.get(), config);
@@ -183,6 +357,12 @@ int main(int argc, char** argv) {
     std::printf("lightrw functional: %llu steps in %.3fs wall\n",
                 static_cast<unsigned long long>(stats.steps),
                 timer.ElapsedSeconds());
+  } else {
+    std::fprintf(stderr,
+                 "unknown engine '%s' (expected "
+                 "cpu|lightrw|lightrw-sim|distributed)\n",
+                 engine.c_str());
+    return 1;
   }
 
   if (!metrics_out.empty()) {
@@ -222,5 +402,5 @@ int main(int argc, char** argv) {
     std::printf("wrote %zu walks to %s\n", corpus.num_paths(),
                 flags.GetString("out").c_str());
   }
-  return 0;
+  return exit_code;
 }

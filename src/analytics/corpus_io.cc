@@ -130,6 +130,25 @@ StatusOr<baseline::WalkOutput> ReadCorpusBinary(const std::string& path) {
       std::fread(&num_vertices, sizeof(num_vertices), 1, f.get()) != 1) {
     return IoError(path + ": truncated corpus header");
   }
+  // A crafted header can declare absurd counts; cap them against the
+  // bytes actually left in the file before allocating.
+  const long pos = std::ftell(f.get());
+  if (pos < 0 || std::fseek(f.get(), 0, SEEK_END) != 0) {
+    return IoError(path + ": seek failed");
+  }
+  const long file_end = std::ftell(f.get());
+  if (file_end < 0 || std::fseek(f.get(), pos, SEEK_SET) != 0) {
+    return IoError(path + ": seek failed");
+  }
+  const uint64_t remaining = static_cast<uint64_t>(file_end - pos);
+  if (num_offsets > remaining / sizeof(uint32_t) ||
+      num_vertices > remaining / sizeof(graph::VertexId) ||
+      num_offsets * sizeof(uint32_t) + num_vertices * sizeof(graph::VertexId) >
+          remaining) {
+    return InvalidArgumentError(path +
+                                ": corpus header declares more data than "
+                                "the file holds");
+  }
   baseline::WalkOutput corpus;
   corpus.offsets.resize(num_offsets);
   corpus.vertices.resize(num_vertices);

@@ -1,15 +1,113 @@
 #include "common/flags.h"
 
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 
 #include "common/check.h"
 
 namespace lightrw {
 
+namespace {
+
+bool ParseIntValue(const std::string& value, int64_t* out) {
+  if (value.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  errno = 0;
+  const long long parsed = std::strtoll(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0' || errno == ERANGE) {
+    return false;
+  }
+  *out = parsed;
+  return true;
+}
+
+bool ParseDoubleValue(const std::string& value, double* out) {
+  if (value.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0') {
+    return false;
+  }
+  *out = parsed;
+  return true;
+}
+
+bool ParseBoolValue(const std::string& value, bool* out) {
+  if (value == "true" || value == "1" || value == "yes") {
+    *out = true;
+    return true;
+  }
+  if (value == "false" || value == "0" || value == "no") {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
 void FlagParser::Define(const std::string& name, const std::string& help,
                         const std::string& default_value) {
   LIGHTRW_CHECK(!name.empty());
-  flags_[name] = Flag{help, default_value};
+  flags_[name] = Flag{help, default_value, FlagType::kString};
+}
+
+void FlagParser::DefineInt(const std::string& name, const std::string& help,
+                           int64_t default_value) {
+  LIGHTRW_CHECK(!name.empty());
+  flags_[name] = Flag{help, std::to_string(default_value), FlagType::kInt};
+}
+
+void FlagParser::DefineDouble(const std::string& name,
+                              const std::string& help,
+                              double default_value) {
+  LIGHTRW_CHECK(!name.empty());
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", default_value);
+  flags_[name] = Flag{help, buf, FlagType::kDouble};
+}
+
+void FlagParser::DefineBool(const std::string& name, const std::string& help,
+                            bool default_value) {
+  LIGHTRW_CHECK(!name.empty());
+  flags_[name] =
+      Flag{help, default_value ? "true" : "false", FlagType::kBool};
+}
+
+Status FlagParser::CheckValue(const std::string& name,
+                              const std::string& value, FlagType type) {
+  bool ok = true;
+  const char* expected = "";
+  switch (type) {
+    case FlagType::kString:
+      break;
+    case FlagType::kInt: {
+      int64_t unused;
+      ok = ParseIntValue(value, &unused);
+      expected = "a decimal integer";
+      break;
+    }
+    case FlagType::kDouble: {
+      double unused;
+      ok = ParseDoubleValue(value, &unused);
+      expected = "a number";
+      break;
+    }
+    case FlagType::kBool: {
+      bool unused;
+      ok = ParseBoolValue(value, &unused);
+      expected = "true/false/1/0/yes/no";
+      break;
+    }
+  }
+  return ok ? Status::Ok()
+            : InvalidArgumentError("invalid value '" + value + "' for --" +
+                                   name + ": expected " + expected);
 }
 
 Status FlagParser::Parse(int argc, const char* const* argv) {
@@ -35,14 +133,20 @@ Status FlagParser::Parse(int argc, const char* const* argv) {
       return InvalidArgumentError("unknown flag --" + name);
     }
     if (!has_value) {
-      // --name value form, or a bare boolean.
-      if (i + 1 < argc && argv[i + 1][0] != '-' &&
-          !(it->second.value == "true" || it->second.value == "false")) {
+      // --name value form, or a bare boolean. String-typed flags whose
+      // current value spells a boolean keep the legacy bare-flag
+      // behavior.
+      const bool boolean_like =
+          it->second.type == FlagType::kBool ||
+          (it->second.type == FlagType::kString &&
+           (it->second.value == "true" || it->second.value == "false"));
+      if (i + 1 < argc && argv[i + 1][0] != '-' && !boolean_like) {
         value = argv[++i];
       } else {
         value = "true";
       }
     }
+    LIGHTRW_RETURN_IF_ERROR(CheckValue(name, value, it->second.type));
     it->second.value = value;
   }
   return Status::Ok();
@@ -55,31 +159,22 @@ const std::string& FlagParser::GetString(const std::string& name) const {
 }
 
 int64_t FlagParser::GetInt(const std::string& name) const {
-  const std::string& value = GetString(name);
-  char* end = nullptr;
-  const long long parsed = std::strtoll(value.c_str(), &end, 10);
-  LIGHTRW_CHECK(end != value.c_str() && *end == '\0');
+  int64_t parsed = 0;
+  LIGHTRW_CHECK(ParseIntValue(GetString(name), &parsed));
   return parsed;
 }
 
 double FlagParser::GetDouble(const std::string& name) const {
-  const std::string& value = GetString(name);
-  char* end = nullptr;
-  const double parsed = std::strtod(value.c_str(), &end);
-  LIGHTRW_CHECK(end != value.c_str() && *end == '\0');
+  double parsed = 0.0;
+  LIGHTRW_CHECK(ParseDoubleValue(GetString(name), &parsed));
   return parsed;
 }
 
 bool FlagParser::GetBool(const std::string& name) const {
-  const std::string& value = GetString(name);
-  if (value == "true" || value == "1" || value == "yes") {
-    return true;
-  }
-  if (value == "false" || value == "0" || value == "no") {
-    return false;
-  }
-  LIGHTRW_CHECK(false && "boolean flag must be true/false/1/0/yes/no");
-  return false;
+  bool parsed = false;
+  LIGHTRW_CHECK(ParseBoolValue(GetString(name), &parsed) &&
+                "boolean flag must be true/false/1/0/yes/no");
+  return parsed;
 }
 
 std::string FlagParser::HelpText() const {

@@ -19,22 +19,36 @@ namespace lightrw {
 // Parsed command line. Typical use:
 //
 //   FlagParser flags;
-//   flags.Define("length", "walk length", "80");
-//   flags.Define("verbose", "chatty output", "false");
+//   flags.DefineInt("length", "walk length", 80);
+//   flags.DefineBool("verbose", "chatty output", false);
 //   LIGHTRW_CHECK(flags.Parse(argc, argv).ok());
 //   const uint64_t length = flags.GetInt("length");
+//
+// Typed definitions validate user-supplied values during Parse, so a
+// malformed `--length=abc` surfaces as a Status (tools print it and exit
+// nonzero) instead of aborting later inside an accessor.
 class FlagParser {
  public:
-  // Registers a flag with a default value (all flags are optional).
+  // Registers a flag with a default value (all flags are optional). The
+  // untyped form accepts any value.
   void Define(const std::string& name, const std::string& help,
               const std::string& default_value);
+  // Typed forms: Parse rejects values the matching accessor could not
+  // return.
+  void DefineInt(const std::string& name, const std::string& help,
+                 int64_t default_value);
+  void DefineDouble(const std::string& name, const std::string& help,
+                    double default_value);
+  void DefineBool(const std::string& name, const std::string& help,
+                  bool default_value);
 
   // Parses argv; returns an error for unknown or malformed flags.
   Status Parse(int argc, const char* const* argv);
 
   // Accessors; the flag must have been Defined.
   const std::string& GetString(const std::string& name) const;
-  // Accepts decimal integers; aborts on non-numeric values.
+  // Accepts decimal integers; aborts on non-numeric values (use
+  // DefineInt to reject them at Parse time instead).
   int64_t GetInt(const std::string& name) const;
   double GetDouble(const std::string& name) const;
   // "true"/"1"/"yes" => true; "false"/"0"/"no" => false.
@@ -46,10 +60,18 @@ class FlagParser {
   std::string HelpText() const;
 
  private:
+  enum class FlagType { kString, kInt, kDouble, kBool };
+
   struct Flag {
     std::string help;
     std::string value;
+    FlagType type = FlagType::kString;
   };
+
+  // Non-OK when `value` does not parse as `type`.
+  static Status CheckValue(const std::string& name, const std::string& value,
+                           FlagType type);
+
   std::map<std::string, Flag> flags_;
   std::vector<std::string> positional_;
 };

@@ -1,0 +1,30 @@
+#include "distributed/config_validation.h"
+
+#include "hwsim/validation.h"
+#include "reliability/fault_injector.h"
+
+namespace lightrw::distributed {
+
+Status ValidateDistributedConfig(const DistributedConfig& config) {
+  if (config.walker_message_bytes == 0) {
+    return InvalidArgumentError(
+        "walker_message_bytes must be >= 1 (a migration ships the walker "
+        "state)");
+  }
+  if (config.inflight_walkers_per_board == 0) {
+    return InvalidArgumentError("inflight_walkers_per_board must be >= 1");
+  }
+  if (config.board.sampler_parallelism == 0) {
+    return InvalidArgumentError("board.sampler_parallelism must be >= 1");
+  }
+  if (config.board.num_instances == 0) {
+    return InvalidArgumentError("board.num_instances must be >= 1");
+  }
+  LIGHTRW_RETURN_IF_ERROR(hwsim::ValidateDramConfig(config.board.dram));
+  LIGHTRW_RETURN_IF_ERROR(hwsim::ValidateLinkConfig(config.link));
+  LIGHTRW_RETURN_IF_ERROR(
+      reliability::ValidateFaultConfig(config.board.faults));
+  return Status::Ok();
+}
+
+}  // namespace lightrw::distributed

@@ -1,0 +1,21 @@
+// Validation of a DistributedConfig against structural invariants,
+// mirroring core::ValidateConfig for the single-board accelerator: the
+// front door for configurations built from user input. DistributedEngine
+// runs it at the top of Run(), so a bad configuration surfaces as a
+// Status instead of a LIGHTRW_CHECK abort.
+
+#ifndef LIGHTRW_DISTRIBUTED_CONFIG_VALIDATION_H_
+#define LIGHTRW_DISTRIBUTED_CONFIG_VALIDATION_H_
+
+#include "common/status.h"
+#include "distributed/dist_engine.h"
+
+namespace lightrw::distributed {
+
+// Checks message sizes, walker in-flight limits, the per-board DRAM and
+// link timing parameters, and the fault-injection schedule.
+Status ValidateDistributedConfig(const DistributedConfig& config);
+
+}  // namespace lightrw::distributed
+
+#endif  // LIGHTRW_DISTRIBUTED_CONFIG_VALIDATION_H_

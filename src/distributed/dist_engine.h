@@ -17,10 +17,12 @@
 
 #include "apps/walk_app.h"
 #include "baseline/engine.h"
+#include "common/status.h"
 #include "distributed/partition.h"
 #include "hwsim/link.h"
 #include "lightrw/config.h"
 #include "lightrw/cycle_engine.h"
+#include "reliability/fault_injector.h"
 
 namespace lightrw::distributed {
 
@@ -38,6 +40,11 @@ struct DistributedConfig {
   // hold the full CSR image. Partitioned mode (false) scales to graphs
   // larger than one board's DRAM at the cost of network migrations.
   bool replicate_graph = false;
+
+  // Fault injection (DRAM ECC, link loss, board failure) and the
+  // checkpoint/failover protocol are configured through `board.faults`
+  // (reliability::FaultConfig), shared with the per-board accelerator
+  // datapath so one schedule covers the whole stack.
 };
 
 struct DistributedRunStats {
@@ -60,6 +67,9 @@ struct DistributedRunStats {
   // Summed over boards.
   hwsim::DramStats dram;
   hwsim::LinkStats network;
+  // Faults injected, retries, retransmissions, checkpoints, and
+  // recovered/lost walkers, summed over boards plus the failover logic.
+  reliability::ReliabilityStats reliability;
 };
 
 // Simulates `partition.num_boards()` boards executing the query set.
@@ -70,8 +80,14 @@ class DistributedEngine {
                     const Partition* partition,
                     const DistributedConfig& config);
 
-  DistributedRunStats Run(std::span<const apps::WalkQuery> queries,
-                          baseline::WalkOutput* output = nullptr);
+  // Simulates the query set. Returns a Status (instead of aborting) for
+  // invalid configurations — ValidateDistributedConfig runs first — or an
+  // unsatisfiable fault schedule (e.g. killing a board of a single-board
+  // cluster). A scheduled board failure does not fail the run: walkers
+  // recover onto surviving boards from their checkpoints and the cost is
+  // reported in stats.reliability.
+  StatusOr<DistributedRunStats> Run(std::span<const apps::WalkQuery> queries,
+                                    baseline::WalkOutput* output = nullptr);
 
  private:
   const graph::CsrGraph* graph_;

@@ -36,8 +36,16 @@ template <typename T>
 bool ReadVector(std::FILE* f, std::vector<T>* v) {
   uint64_t n = 0;
   if (std::fread(&n, sizeof(n), 1, f) != 1) return false;
-  v->resize(n);
+  v->clear();
   if (n == 0) return true;
+  // A crafted length prefix can declare an absurd element count; cap it
+  // against the bytes actually left in the file before allocating.
+  const long pos = std::ftell(f);
+  if (pos < 0 || std::fseek(f, 0, SEEK_END) != 0) return false;
+  const long end = std::ftell(f);
+  if (end < 0 || std::fseek(f, pos, SEEK_SET) != 0) return false;
+  if (n > static_cast<uint64_t>(end - pos) / sizeof(T)) return false;
+  v->resize(n);
   return std::fread(v->data(), sizeof(T), n, f) == n;
 }
 

@@ -28,6 +28,58 @@ Cycle DramChannel::RequestOccupancy(uint32_t burst_beats) const {
 }
 
 Cycle DramChannel::Access(Cycle ready, uint32_t burst_beats) {
+  Cycle done = AccessOnce(ready, burst_beats);
+  if (faults_ == nullptr || !faults_->enabled()) {
+    return done;
+  }
+  // ECC outcome of the delivered burst. A correctable error is fixed by
+  // the controller but costs one re-issue of the burst (scrub + re-read);
+  // an uncorrectable error re-issues up to the retry budget, after which
+  // the access is declared failed and the caller sees TakeAccessFailure.
+  const uint32_t max_retries = faults_->config().max_dram_retries;
+  for (uint32_t attempt = 0;; ++attempt) {
+    const reliability::DramFault fault = faults_->NextDramFault();
+    if (fault == reliability::DramFault::kNone) {
+      return done;
+    }
+    if (fault == reliability::DramFault::kCorrectable) {
+      if (reliability_ != nullptr) {
+        ++reliability_->dram_correctable;
+        ++reliability_->dram_retries;
+      }
+      if (trace_ != nullptr && trace_->accepting()) {
+        trace_->Instant("ecc_correctable", "fault", trace_pid_, trace_tid_,
+                        done);
+      }
+      return AccessOnce(done, burst_beats);
+    }
+    // Uncorrectable.
+    if (reliability_ != nullptr) {
+      ++reliability_->dram_uncorrectable;
+    }
+    if (trace_ != nullptr && trace_->accepting()) {
+      trace_->Instant("ecc_uncorrectable", "fault", trace_pid_, trace_tid_,
+                      done);
+    }
+    if (attempt >= max_retries) {
+      access_failure_pending_ = true;
+      if (reliability_ != nullptr) {
+        ++reliability_->dram_failed_accesses;
+      }
+      if (trace_ != nullptr && trace_->accepting()) {
+        trace_->Instant("dram_access_failed", "fault", trace_pid_,
+                        trace_tid_, done);
+      }
+      return done;
+    }
+    if (reliability_ != nullptr) {
+      ++reliability_->dram_retries;
+    }
+    done = AccessOnce(done, burst_beats);
+  }
+}
+
+Cycle DramChannel::AccessOnce(Cycle ready, uint32_t burst_beats) {
   LIGHTRW_CHECK(burst_beats >= 1);
   // Command issue occupies the least-loaded bank for one issue gap; the
   // data transfer then occupies the shared bus for the burst's beats.

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "reliability/fault_injector.h"
 
 namespace lightrw::obs {
 class TraceRecorder;
@@ -78,7 +79,12 @@ class DramChannel {
   Cycle RequestOccupancy(uint32_t burst_beats) const;
 
   // Issues a request at time >= `ready`: returns the cycle at which all
-  // data has been delivered.
+  // data has been delivered. With a fault stream attached, a correctable
+  // ECC error re-issues the burst once (costing channel occupancy and a
+  // counted retry); an uncorrectable error re-issues up to
+  // `max_dram_retries` times and then marks the access failed (visible
+  // through TakeAccessFailure), still returning the modeled completion
+  // cycle of the final attempt.
   Cycle Access(Cycle ready, uint32_t burst_beats);
 
   // Attributes `bytes` of the most recent traffic as useful (consumed by
@@ -109,7 +115,30 @@ class DramChannel {
     trace_tid_ = tid;
   }
 
+  // Attaches a deterministic fault stream (ECC error schedule) and the
+  // stats block that counts its events. Both are not owned, may be null
+  // (detaches — the default, zero-overhead path), and must outlive the
+  // channel's use.
+  void AttachFaults(reliability::FaultStream* faults,
+                    reliability::ReliabilityStats* reliability) {
+    faults_ = faults;
+    reliability_ = reliability;
+  }
+
+  // True if any Access since the last call exhausted its ECC retry
+  // budget (uncorrectable data loss). Clears the flag. Callers issuing a
+  // group of accesses for one logical operation (e.g. a burst-engine
+  // fetch) check once after the group.
+  bool TakeAccessFailure() {
+    const bool failed = access_failure_pending_;
+    access_failure_pending_ = false;
+    return failed;
+  }
+
  private:
+  // One physical request issue: timing, stats, and trace, no faults.
+  Cycle AccessOnce(Cycle ready, uint32_t burst_beats);
+
   DramConfig config_;
   std::vector<Cycle> bank_busy_;
   Cycle bus_busy_ = 0;
@@ -117,6 +146,9 @@ class DramChannel {
   obs::TraceRecorder* trace_ = nullptr;
   uint32_t trace_pid_ = 0;
   uint32_t trace_tid_ = 0;
+  reliability::FaultStream* faults_ = nullptr;
+  reliability::ReliabilityStats* reliability_ = nullptr;
+  bool access_failure_pending_ = false;
 };
 
 }  // namespace lightrw::hwsim

@@ -1,0 +1,35 @@
+#include "hwsim/validation.h"
+
+namespace lightrw::hwsim {
+
+Status ValidateDramConfig(const DramConfig& config) {
+  if (config.clock_hz <= 0.0) {
+    return InvalidArgumentError("dram.clock_hz must be positive");
+  }
+  if (config.bus_bytes == 0) {
+    return InvalidArgumentError("dram.bus_bytes must be >= 1");
+  }
+  if (config.issue_gap_cycles == 0) {
+    return InvalidArgumentError("dram.issue_gap_cycles must be >= 1");
+  }
+  if (config.efficiency <= 0.0 || config.efficiency > 1.0) {
+    return InvalidArgumentError("dram.efficiency must be in (0, 1]");
+  }
+  if (config.num_banks == 0) {
+    return InvalidArgumentError("dram.num_banks must be >= 1");
+  }
+  return Status::Ok();
+}
+
+Status ValidateLinkConfig(const LinkConfig& config) {
+  if (config.bytes_per_cycle <= 0.0) {
+    return InvalidArgumentError("link.bytes_per_cycle must be positive");
+  }
+  if (config.header_bytes > 1u << 20) {
+    return InvalidArgumentError(
+        "link.header_bytes above 1 MiB is not a header");
+  }
+  return Status::Ok();
+}
+
+}  // namespace lightrw::hwsim

@@ -1,0 +1,24 @@
+// Structural validation of the hardware-model configurations. The model
+// constructors LIGHTRW_CHECK these invariants (programming errors abort);
+// these Status-returning validators are the front door for configurations
+// built from user input (CLI flags, config files), so a bad clock or a
+// zero-byte bus is reported as a diagnostic instead of an abort.
+
+#ifndef LIGHTRW_HWSIM_VALIDATION_H_
+#define LIGHTRW_HWSIM_VALIDATION_H_
+
+#include "common/status.h"
+#include "hwsim/dram.h"
+#include "hwsim/link.h"
+
+namespace lightrw::hwsim {
+
+// Nonzero bus/clock/bank parameters, efficiency in (0, 1].
+Status ValidateDramConfig(const DramConfig& config);
+
+// Positive wire bandwidth, sane latency and header size.
+Status ValidateLinkConfig(const LinkConfig& config);
+
+}  // namespace lightrw::hwsim
+
+#endif  // LIGHTRW_HWSIM_VALIDATION_H_

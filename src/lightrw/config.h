@@ -6,6 +6,7 @@
 #include <cstdint>
 
 #include "hwsim/dram.h"
+#include "reliability/fault_injector.h"
 
 namespace lightrw::obs {
 class MetricsRegistry;
@@ -89,6 +90,13 @@ struct AcceleratorConfig {
   hwsim::DramConfig dram = DefaultAcceleratorDram();
 
   uint64_t seed = 42;
+
+  // Fault-injection schedule and recovery parameters (src/reliability/).
+  // Disabled by default: the engines then consume no fault streams and
+  // behave bit-identically to a build without the subsystem. The same
+  // block configures link faults and board failures when this config is
+  // used as the per-board configuration of a DistributedEngine.
+  reliability::FaultConfig faults;
 
   // Records per-query latency in cycles (Fig. 15).
   bool collect_latency = false;

@@ -3,6 +3,8 @@
 #include <string>
 
 #include "common/bits.h"
+#include "hwsim/validation.h"
+#include "reliability/fault_injector.h"
 
 namespace lightrw::core {
 
@@ -46,6 +48,8 @@ Status ValidateConfig(const AcceleratorConfig& config,
   if (config.inflight_queries == 0) {
     return InvalidArgumentError("inflight_queries must be >= 1");
   }
+  LIGHTRW_RETURN_IF_ERROR(hwsim::ValidateDramConfig(config.dram));
+  LIGHTRW_RETURN_IF_ERROR(reliability::ValidateFaultConfig(config.faults));
 
   // Resource fit on the modeled device.
   ResourceModel model(device);

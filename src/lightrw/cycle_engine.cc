@@ -58,6 +58,10 @@ class Instance {
         rng_(config.sampler_parallelism, seed),
         sampler_(config.sampler_parallelism, &rng_),
         stop_gen_(seed ^ 0x5709ULL) {
+    if (config.faults.enabled) {
+      faults_ = reliability::FaultStream(config.faults, instance_id_);
+      channel_.AttachFaults(&faults_, &rel_);
+    }
     if (trace_ != nullptr) {
       NameInstanceTracks(trace_, instance_id_,
                          "accel instance " + std::to_string(instance_id_));
@@ -121,6 +125,10 @@ class Instance {
   rng::ThunderingRng rng_;
   StepSampler sampler_;
   rng::Xoshiro256StarStar stop_gen_;
+  // Deterministic DRAM ECC fault schedule (disabled unless
+  // config.faults.enabled) and the counters its events land in.
+  reliability::FaultStream faults_;
+  reliability::ReliabilityStats rel_;
   // The weight-updater/WRS pipeline is a single k-wide unit per instance:
   // concurrent steps serialize through it.
   Cycle sampler_busy_ = 0;
@@ -340,6 +348,13 @@ Cycle Instance::Run(std::span<const WalkQuery> queries,
         continue;
       }
       const Cycle t_info = InfoPhase(&slot, now);
+      if (channel_.TakeAccessFailure()) {
+        // Uncorrectable ECC error past the retry budget on the row
+        // lookup: the walk cannot continue from corrupt state.
+        ++rel_.walks_failed;
+        retire(slot_index, t_info);
+        continue;
+      }
       if (graph_->Degree(slot.state.curr) == 0) {  // dead end
         retire(slot_index, t_info + config_.pipeline_depth_cycles);
         continue;
@@ -353,6 +368,13 @@ Cycle Instance::Run(std::span<const WalkQuery> queries,
     VertexId next = graph::kInvalidVertex;
     const Cycle done = FetchPhase(&slot, now, &next, stats);
     slot.phase = Phase::kInfo;
+    if (channel_.TakeAccessFailure()) {
+      // Uncorrectable ECC error in the adjacency stream: the sampled
+      // step is based on corrupt data, so the walk fails here.
+      ++rel_.walks_failed;
+      retire(slot_index, done);
+      continue;
+    }
     if (next == graph::kInvalidVertex) {  // all weights zero
       retire(slot_index, done);
       continue;
@@ -391,6 +413,7 @@ Cycle Instance::Run(std::span<const WalkQuery> queries,
   stats->stage.fetch_cycles += stage_.fetch_cycles;
   stats->stage.sampler_cycles += stage_.sampler_cycles;
   stats->stage.pipeline_cycles += stage_.pipeline_cycles;
+  stats->reliability.Accumulate(rel_);
   PublishMetrics(makespan, stats->queries - queries_before,
                  stats->steps - steps_before);
   return makespan;
@@ -440,6 +463,9 @@ void Instance::PublishMetrics(Cycle makespan, uint64_t queries,
                      {{"instance", std::to_string(instance_id_)},
                       {"stage", stage}})
         ->Increment(cycles);
+  }
+  if (rel_.Any()) {
+    reliability::PublishReliabilityMetrics(metrics, rel_, instance);
   }
 }
 

@@ -68,6 +68,12 @@ struct AccelRunStats {
   StageCycleStats stage;   // summed over instances
   uint64_t prev_refetches = 0;  // Node2Vec buffer-overflow re-fetches
 
+  // Injected-fault and recovery accounting (src/reliability/), summed
+  // over instances. All zero when config.faults is disabled. A walk hit
+  // by an uncorrectable DRAM error past its retry budget retires
+  // truncated and is counted in reliability.walks_failed.
+  reliability::ReliabilityStats reliability;
+
   // Per-query latency in cycles (populated if config.collect_latency).
   SampleStats query_latency_cycles;
 

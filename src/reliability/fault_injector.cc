@@ -1,0 +1,155 @@
+#include "reliability/fault_injector.h"
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace lightrw::reliability {
+
+Status ValidateFaultConfig(const FaultConfig& config) {
+  const auto rate_ok = [](double rate) { return rate >= 0.0 && rate <= 1.0; };
+  if (!rate_ok(config.dram_correctable_rate) ||
+      !rate_ok(config.dram_uncorrectable_rate) ||
+      !rate_ok(config.link_drop_rate) || !rate_ok(config.link_corrupt_rate)) {
+    return InvalidArgumentError(
+        "fault rates must be probabilities in [0, 1]");
+  }
+  if (config.dram_correctable_rate + config.dram_uncorrectable_rate > 1.0) {
+    return InvalidArgumentError(
+        "dram_correctable_rate + dram_uncorrectable_rate must not exceed 1");
+  }
+  if (config.link_drop_rate + config.link_corrupt_rate > 1.0) {
+    return InvalidArgumentError(
+        "link_drop_rate + link_corrupt_rate must not exceed 1");
+  }
+  if (!config.enabled) {
+    return Status::Ok();
+  }
+  if ((config.link_drop_rate > 0.0 || config.link_corrupt_rate > 0.0) &&
+      config.retransmit_timeout_cycles == 0) {
+    return InvalidArgumentError(
+        "retransmit_timeout_cycles must be >= 1 when link faults are "
+        "enabled");
+  }
+  if (config.retransmit_backoff_shift > 16) {
+    return InvalidArgumentError(
+        "retransmit_backoff_shift above 16 overflows the modeled timeout");
+  }
+  if (config.max_dram_retries > 64) {
+    return InvalidArgumentError("max_dram_retries must be <= 64");
+  }
+  if (config.max_retransmissions > 64) {
+    return InvalidArgumentError("max_retransmissions must be <= 64");
+  }
+  return Status::Ok();
+}
+
+void ReliabilityStats::Accumulate(const ReliabilityStats& other) {
+  dram_correctable += other.dram_correctable;
+  dram_uncorrectable += other.dram_uncorrectable;
+  dram_retries += other.dram_retries;
+  dram_failed_accesses += other.dram_failed_accesses;
+  link_dropped += other.link_dropped;
+  link_corrupted += other.link_corrupted;
+  retransmissions += other.retransmissions;
+  link_failed_sends += other.link_failed_sends;
+  board_failures += other.board_failures;
+  checkpoints += other.checkpoints;
+  walkers_recovered += other.walkers_recovered;
+  walkers_lost += other.walkers_lost;
+  replayed_steps += other.replayed_steps;
+  recovery_cycles += other.recovery_cycles;
+  walks_failed += other.walks_failed;
+}
+
+Status ReliabilityStatus(const ReliabilityStats& stats) {
+  if (stats.walkers_lost > 0 || stats.walks_failed > 0) {
+    return InternalError(
+        "run lost data: " + std::to_string(stats.walks_failed) +
+        " walk(s) failed on uncorrectable faults, " +
+        std::to_string(stats.walkers_lost) +
+        " walker(s) unrecoverable (no checkpoint)");
+  }
+  return Status::Ok();
+}
+
+void PublishReliabilityMetrics(
+    obs::MetricsRegistry* metrics, const ReliabilityStats& stats,
+    const std::vector<std::pair<std::string, std::string>>& labels) {
+  if (metrics == nullptr) {
+    return;
+  }
+  const struct {
+    const char* name;
+    uint64_t value;
+  } counters[] = {
+      {"reliability.dram.correctable", stats.dram_correctable},
+      {"reliability.dram.uncorrectable", stats.dram_uncorrectable},
+      {"reliability.dram.retries", stats.dram_retries},
+      {"reliability.dram.failed_accesses", stats.dram_failed_accesses},
+      {"reliability.link.dropped", stats.link_dropped},
+      {"reliability.link.corrupted", stats.link_corrupted},
+      {"reliability.link.retransmissions", stats.retransmissions},
+      {"reliability.link.failed_sends", stats.link_failed_sends},
+      {"reliability.board.failures", stats.board_failures},
+      {"reliability.checkpoint.taken", stats.checkpoints},
+      {"reliability.walkers.recovered", stats.walkers_recovered},
+      {"reliability.walkers.lost", stats.walkers_lost},
+      {"reliability.walkers.replayed_steps", stats.replayed_steps},
+      {"reliability.recovery.cycles", stats.recovery_cycles},
+      {"reliability.walks.failed", stats.walks_failed},
+  };
+  for (const auto& [name, value] : counters) {
+    if (value != 0) {
+      metrics->GetCounter(name, labels)->Increment(value);
+    }
+  }
+}
+
+FaultStream::FaultStream(const FaultConfig& config, uint64_t component_id)
+    : config_(config),
+      enabled_(config.enabled),
+      gen_(rng::SplitMix64(config.seed ^
+                           (0x9e3779b97f4a7c15ULL * (component_id + 1)))
+               .Next()) {}
+
+DramFault FaultStream::NextDramFault() {
+  if (!enabled_) {
+    return DramFault::kNone;
+  }
+  const double total =
+      config_.dram_correctable_rate + config_.dram_uncorrectable_rate;
+  if (total <= 0.0) {
+    return DramFault::kNone;
+  }
+  ++draws_;
+  const double u = gen_.NextUnit();
+  if (u < config_.dram_uncorrectable_rate) {
+    return DramFault::kUncorrectable;
+  }
+  if (u < total) {
+    return DramFault::kCorrectable;
+  }
+  return DramFault::kNone;
+}
+
+LinkFault FaultStream::NextLinkFault() {
+  if (!enabled_) {
+    return LinkFault::kNone;
+  }
+  const double total = config_.link_drop_rate + config_.link_corrupt_rate;
+  if (total <= 0.0) {
+    return LinkFault::kNone;
+  }
+  ++draws_;
+  const double u = gen_.NextUnit();
+  if (u < config_.link_drop_rate) {
+    return LinkFault::kDropped;
+  }
+  if (u < total) {
+    return LinkFault::kCorrupted;
+  }
+  return LinkFault::kNone;
+}
+
+}  // namespace lightrw::reliability

@@ -1,0 +1,190 @@
+// Deterministic fault injection for the simulated accelerator stack.
+//
+// Production random-walk deployments treat failure as routine: DRAM
+// develops transient ECC errors, network links drop and corrupt frames,
+// and whole boards go dark mid-run. The cycle simulators are the ideal
+// place to model that, because every fault, retry, and recovery becomes a
+// *counted* event that tests can assert on exactly.
+//
+// A FaultInjector schedule is purely a function of (seed, component id,
+// draw index): two runs with the same configuration produce bit-identical
+// fault sequences regardless of wall-clock timing, and the fault streams
+// are independent of the walk-sampling RNG streams, so enabling
+// fault injection with all rates at zero changes no simulated outcome.
+//
+// Fault taxonomy (see DESIGN.md "Reliability model"):
+//   DRAM  correctable ECC error    burst re-issued once (modeled retry)
+//         uncorrectable ECC error  bounded re-issues, then the access fails
+//   Link  dropped message          ack timeout -> retransmission
+//         corrupted message        receiver NACK/CRC -> retransmission
+//   Board whole-board failure      scheduled (fail_cycle); in-flight
+//         walkers recover from their last checkpoint on surviving boards
+
+#ifndef LIGHTRW_RELIABILITY_FAULT_INJECTOR_H_
+#define LIGHTRW_RELIABILITY_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "rng/rng.h"
+
+namespace lightrw::obs {
+class MetricsRegistry;
+}  // namespace lightrw::obs
+
+namespace lightrw::reliability {
+
+// Outcome of one DRAM access draw.
+enum class DramFault {
+  kNone,
+  kCorrectable,    // single-bit flip: ECC corrects, burst re-issued once
+  kUncorrectable,  // multi-bit flip: the access must be retried or fails
+};
+
+// Outcome of one link-message draw.
+enum class LinkFault {
+  kNone,
+  kDropped,    // frame lost on the wire: sender times out waiting for ack
+  kCorrupted,  // CRC failure at the receiver: explicit NACK, same retry path
+};
+
+// Fault schedule and recovery-protocol parameters. The default
+// configuration is fully disabled: engines behave bit-identically to a
+// build without the reliability subsystem.
+struct FaultConfig {
+  // Master switch. When false, no fault stream is consulted and no timing
+  // or output changes anywhere in the stack.
+  bool enabled = false;
+
+  // Seed of the fault schedule; independent of the walk-sampling seed.
+  uint64_t seed = 1;
+
+  // Per-DRAM-request fault probabilities (drawn once per Access).
+  double dram_correctable_rate = 0.0;
+  double dram_uncorrectable_rate = 0.0;
+  // Re-issues of a burst after an uncorrectable error before the access
+  // is declared failed (the Status-level failure path).
+  uint32_t max_dram_retries = 3;
+
+  // Per-message fault probabilities on a network link.
+  double link_drop_rate = 0.0;
+  double link_corrupt_rate = 0.0;
+  // Retransmission protocol: a lost/corrupted message is resent after an
+  // ack timeout that doubles `retransmit_backoff_shift` bits per attempt,
+  // at most `max_retransmissions` times before the send is declared
+  // failed and the walker recovers from its checkpoint.
+  uint32_t max_retransmissions = 8;
+  uint32_t retransmit_timeout_cycles = 2048;
+  uint32_t retransmit_backoff_shift = 1;
+
+  // Whole-board failure schedule: board `fail_board` stops serving at
+  // simulated cycle `fail_cycle` (0 disables). Walkers resident on (or
+  // migrating to) the dead board are recovered on surviving boards.
+  uint64_t fail_cycle = 0;
+  uint32_t fail_board = 0;
+
+  // Walker-state checkpoint cadence in simulated cycles. Smaller
+  // intervals replay fewer steps on recovery but take more checkpoints;
+  // 0 disables checkpointing, so a recovering walker's walk is lost
+  // (retired truncated and counted).
+  uint64_t checkpoint_interval_cycles = 1u << 16;
+
+  // Cycles between a board failure and its detection (heartbeat loss).
+  uint32_t detection_latency_cycles = 4096;
+  // Modeled per-walker cost of reading checkpointed state and
+  // re-dispatching it to a surviving board.
+  uint32_t recovery_cycles_per_walker = 512;
+
+  // True when any fault source is actually active.
+  bool AnyFaultsPossible() const {
+    return enabled &&
+           (dram_correctable_rate > 0.0 || dram_uncorrectable_rate > 0.0 ||
+            link_drop_rate > 0.0 || link_corrupt_rate > 0.0 ||
+            fail_cycle > 0);
+  }
+};
+
+// Structural validation of a fault configuration (rates are
+// probabilities, protocol parameters are nonzero where required).
+Status ValidateFaultConfig(const FaultConfig& config);
+
+// Every fault, retry, and recovery event, counted. Summed over
+// components (DRAM channels, links, boards) into the run stats, the
+// metrics registry, and the run report.
+struct ReliabilityStats {
+  // DRAM ECC.
+  uint64_t dram_correctable = 0;
+  uint64_t dram_uncorrectable = 0;
+  uint64_t dram_retries = 0;          // burst re-issues (both kinds)
+  uint64_t dram_failed_accesses = 0;  // retry budget exhausted
+  // Network link.
+  uint64_t link_dropped = 0;
+  uint64_t link_corrupted = 0;
+  uint64_t retransmissions = 0;
+  uint64_t link_failed_sends = 0;  // retransmission budget exhausted
+  // Checkpoint / failover.
+  uint64_t board_failures = 0;
+  uint64_t checkpoints = 0;
+  uint64_t walkers_recovered = 0;  // re-dispatched from a checkpoint
+  uint64_t walkers_lost = 0;       // no checkpoint to recover from
+  uint64_t replayed_steps = 0;     // steps re-executed after a rollback
+  uint64_t recovery_cycles = 0;    // detection + re-dispatch cost, summed
+  // Walks that could not run to completion (uncorrectable data loss).
+  uint64_t walks_failed = 0;
+
+  uint64_t FaultsInjected() const {
+    return dram_correctable + dram_uncorrectable + link_dropped +
+           link_corrupted + board_failures;
+  }
+  bool Any() const {
+    return FaultsInjected() + checkpoints + walkers_recovered +
+               walkers_lost + walks_failed !=
+           0;
+  }
+  void Accumulate(const ReliabilityStats& other);
+};
+
+// Non-OK when the run lost data (failed walks or unrecovered walkers);
+// the CLI surfaces this as a non-zero exit with a one-line diagnostic.
+Status ReliabilityStatus(const ReliabilityStats& stats);
+
+// Publishes `stats` into `metrics` under "reliability.*" names with the
+// given label set (e.g. {{"board", "2"}}). No-op when metrics is null.
+void PublishReliabilityMetrics(obs::MetricsRegistry* metrics,
+                               const ReliabilityStats& stats,
+                               const std::vector<std::pair<
+                                   std::string, std::string>>& labels);
+
+// One component's deterministic fault stream: a private PRNG sequence
+// keyed on (config.seed, component_id). Components draw in their own
+// deterministic order (one draw per DRAM access / link message), so the
+// schedule is reproducible and independent across components.
+class FaultStream {
+ public:
+  // Disabled stream: every draw returns kNone without consuming state.
+  FaultStream() = default;
+  FaultStream(const FaultConfig& config, uint64_t component_id);
+
+  bool enabled() const { return enabled_; }
+  const FaultConfig& config() const { return config_; }
+
+  // Draws the fault outcome of the next DRAM request.
+  DramFault NextDramFault();
+  // Draws the fault outcome of the next link message.
+  LinkFault NextLinkFault();
+
+  uint64_t draws() const { return draws_; }
+
+ private:
+  FaultConfig config_;
+  bool enabled_ = false;
+  rng::Xoshiro256StarStar gen_{0};
+  uint64_t draws_ = 0;
+};
+
+}  // namespace lightrw::reliability
+
+#endif  // LIGHTRW_RELIABILITY_FAULT_INJECTOR_H_

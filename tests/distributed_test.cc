@@ -106,7 +106,7 @@ TEST(DistributedEngineTest, RunsAllQueriesWithValidWalks) {
   DistributedEngine engine(&g, &app, &p, TestConfig());
   const auto queries = apps::MakeVertexQueries(g, 8, 3, 300);
   baseline::WalkOutput output;
-  const auto stats = engine.Run(queries, &output);
+  const auto stats = engine.Run(queries, &output).value();
   EXPECT_EQ(stats.queries, queries.size());
   EXPECT_GT(stats.steps, 0u);
   EXPECT_GT(stats.cycles, 0u);
@@ -126,7 +126,7 @@ TEST(DistributedEngineTest, MigrationsTrackCutRatio) {
   const Partition p = MakePartition(g, 4, PartitionStrategy::kHash);
   DistributedEngine engine(&g, &app, &p, TestConfig());
   const auto queries = apps::MakeVertexQueries(g, 10, 3, 500);
-  const auto stats = engine.Run(queries);
+  const auto stats = engine.Run(queries).value();
   EXPECT_GT(stats.migrations, 0u);
   // Migration ratio should be in the neighborhood of the edge cut ratio
   // (walks sample edges roughly like the cut measures them).
@@ -140,7 +140,7 @@ TEST(DistributedEngineTest, SingleBoardNeverMigrates) {
   const Partition p = MakePartition(g, 1, PartitionStrategy::kHash);
   DistributedEngine engine(&g, &app, &p, TestConfig());
   const auto queries = apps::MakeVertexQueries(g, 10, 3, 200);
-  const auto stats = engine.Run(queries);
+  const auto stats = engine.Run(queries).value();
   EXPECT_EQ(stats.migrations, 0u);
   EXPECT_EQ(stats.network.messages, 0u);
 }
@@ -152,9 +152,9 @@ TEST(DistributedEngineTest, MoreBoardsIncreaseThroughput) {
   const Partition one = MakePartition(g, 1, PartitionStrategy::kGreedy);
   const Partition four = MakePartition(g, 4, PartitionStrategy::kGreedy);
   const auto stats_one =
-      DistributedEngine(&g, &app, &one, TestConfig()).Run(queries);
+      DistributedEngine(&g, &app, &one, TestConfig()).Run(queries).value();
   const auto stats_four =
-      DistributedEngine(&g, &app, &four, TestConfig()).Run(queries);
+      DistributedEngine(&g, &app, &four, TestConfig()).Run(queries).value();
   EXPECT_GT(stats_four.StepsPerSecond(), stats_one.StepsPerSecond());
 }
 
@@ -165,9 +165,9 @@ TEST(DistributedEngineTest, GreedyPartitionBeatsHashOnTime) {
   const Partition hash = MakePartition(g, 8, PartitionStrategy::kHash);
   const Partition greedy = MakePartition(g, 8, PartitionStrategy::kGreedy);
   const auto stats_hash =
-      DistributedEngine(&g, &app, &hash, TestConfig()).Run(queries);
+      DistributedEngine(&g, &app, &hash, TestConfig()).Run(queries).value();
   const auto stats_greedy =
-      DistributedEngine(&g, &app, &greedy, TestConfig()).Run(queries);
+      DistributedEngine(&g, &app, &greedy, TestConfig()).Run(queries).value();
   EXPECT_LT(stats_greedy.migrations, stats_hash.migrations);
 }
 
@@ -176,8 +176,8 @@ TEST(DistributedEngineTest, DeterministicPerSeed) {
   StaticWalkApp app;
   const Partition p = MakePartition(g, 2, PartitionStrategy::kRange);
   const auto queries = apps::MakeVertexQueries(g, 6, 3, 200);
-  const auto a = DistributedEngine(&g, &app, &p, TestConfig()).Run(queries);
-  const auto b = DistributedEngine(&g, &app, &p, TestConfig()).Run(queries);
+  const auto a = DistributedEngine(&g, &app, &p, TestConfig()).Run(queries).value();
+  const auto b = DistributedEngine(&g, &app, &p, TestConfig()).Run(queries).value();
   EXPECT_EQ(a.cycles, b.cycles);
   EXPECT_EQ(a.steps, b.steps);
   EXPECT_EQ(a.migrations, b.migrations);
@@ -189,7 +189,7 @@ TEST(DistributedEngineTest, PprStopsEarly) {
   const Partition p = MakePartition(g, 2, PartitionStrategy::kHash);
   DistributedEngine engine(&g, &app, &p, TestConfig());
   const std::vector<WalkQuery> queries(2000, WalkQuery{0, 200});
-  const auto stats = engine.Run(queries);
+  const auto stats = engine.Run(queries).value();
   const double avg_steps =
       static_cast<double>(stats.steps) / static_cast<double>(stats.queries);
   EXPECT_LT(avg_steps, 10.0);  // geometric with alpha=0.3 -> ~3.3
@@ -203,7 +203,7 @@ TEST(DistributedEngineTest, ReplicatedModeNeverMigrates) {
   config.replicate_graph = true;
   DistributedEngine engine(&g, &app, &p, config);
   const auto queries = apps::MakeVertexQueries(g, 10, 3, 500);
-  const auto stats = engine.Run(queries);
+  const auto stats = engine.Run(queries).value();
   EXPECT_EQ(stats.migrations, 0u);
   EXPECT_EQ(stats.per_board_graph_bytes, g.ModeledByteSize());
 }
@@ -217,9 +217,9 @@ TEST(DistributedEngineTest, PartitionedModeNeedsLessMemoryPerBoard) {
   replicated.replicate_graph = true;
   const auto queries = apps::MakeVertexQueries(g, 8, 3, 300);
   const auto part_stats =
-      DistributedEngine(&g, &app, &p, partitioned).Run(queries);
+      DistributedEngine(&g, &app, &p, partitioned).Run(queries).value();
   const auto repl_stats =
-      DistributedEngine(&g, &app, &p, replicated).Run(queries);
+      DistributedEngine(&g, &app, &p, replicated).Run(queries).value();
   EXPECT_LT(part_stats.per_board_graph_bytes,
             repl_stats.per_board_graph_bytes);
   // Replication avoids the network, so it is at least as fast.

@@ -77,6 +77,68 @@ TEST(FlagParserTest, NegativeNumbers) {
   EXPECT_EQ(flags.GetInt("delta"), -5);
 }
 
+TEST(FlagParserTest, TypedIntRejectsMalformedValueAtParse) {
+  FlagParser flags;
+  flags.DefineInt("length", "walk length", 80);
+  const char* argv[] = {"prog", "--length=abc"};
+  const Status status = flags.Parse(2, argv);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("--length"), std::string::npos);
+  // The default is untouched after a failed parse.
+  EXPECT_EQ(flags.GetInt("length"), 80);
+}
+
+TEST(FlagParserTest, TypedIntRejectsTrailingGarbageAndOverflow) {
+  FlagParser flags;
+  flags.DefineInt("n", "", 0);
+  const char* bad_suffix[] = {"prog", "--n=12x"};
+  EXPECT_FALSE(flags.Parse(2, bad_suffix).ok());
+  const char* overflow[] = {"prog", "--n=99999999999999999999"};
+  EXPECT_FALSE(flags.Parse(2, overflow).ok());
+  const char* empty[] = {"prog", "--n="};
+  EXPECT_FALSE(flags.Parse(2, empty).ok());
+}
+
+TEST(FlagParserTest, TypedDoubleRejectsMalformedValueAtParse) {
+  FlagParser flags;
+  flags.DefineDouble("rate", "", 0.5);
+  const char* argv[] = {"prog", "--rate=fast"};
+  EXPECT_FALSE(flags.Parse(2, argv).ok());
+  const char* good[] = {"prog", "--rate=0.25"};
+  ASSERT_TRUE(flags.Parse(2, good).ok());
+  EXPECT_DOUBLE_EQ(flags.GetDouble("rate"), 0.25);
+}
+
+TEST(FlagParserTest, TypedBoolRejectsMalformedValueAtParse) {
+  FlagParser flags;
+  flags.DefineBool("verbose", "", false);
+  const char* argv[] = {"prog", "--verbose=maybe"};
+  EXPECT_FALSE(flags.Parse(2, argv).ok());
+}
+
+TEST(FlagParserTest, TypedBoolBareFormNeverConsumesNextArg) {
+  FlagParser flags;
+  flags.DefineBool("verbose", "", false);
+  const char* argv[] = {"prog", "--verbose", "input.txt"};
+  ASSERT_TRUE(flags.Parse(3, argv).ok());
+  EXPECT_TRUE(flags.GetBool("verbose"));
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "input.txt");
+}
+
+TEST(FlagParserTest, TypedDefaultsRoundTrip) {
+  FlagParser flags;
+  flags.DefineInt("count", "", -3);
+  flags.DefineDouble("ratio", "", 0.125);
+  flags.DefineBool("on", "", true);
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(flags.Parse(1, argv).ok());
+  EXPECT_EQ(flags.GetInt("count"), -3);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("ratio"), 0.125);
+  EXPECT_TRUE(flags.GetBool("on"));
+}
+
 TEST(FlagParserTest, HelpTextMentionsFlags) {
   FlagParser flags;
   flags.Define("alpha", "stop probability", "0.15");

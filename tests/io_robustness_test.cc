@@ -114,6 +114,53 @@ TEST(IoTruncationTest, CorpusEveryPrefixRejected) {
   EXPECT_TRUE(analytics::ReadCorpusBinary(full_path).ok());
 }
 
+// Valid magic followed by a length prefix declaring ~2^60 elements. The
+// reader must reject the header against the actual file size instead of
+// attempting an exabyte allocation.
+TEST(IoHostileTest, BinaryGraphHugeLengthPrefixRejected) {
+  const std::string path = TempPath("graph_huge_len.bin");
+  std::vector<uint8_t> bytes = {'L', 'R', 'W', 'G', 'R', 'P', 'H', '1'};
+  const uint64_t absurd = uint64_t{1} << 60;
+  for (size_t i = 0; i < sizeof(absurd); ++i) {
+    bytes.push_back(static_cast<uint8_t>(absurd >> (8 * i)));
+  }
+  // A little trailing data so the claim is clearly larger than the file.
+  bytes.resize(bytes.size() + 64, 0);
+  WriteBytes(path, bytes);
+  EXPECT_FALSE(graph::ReadBinary(path).ok());
+}
+
+TEST(IoHostileTest, CorpusHugeCountsRejected) {
+  const std::string path = TempPath("corpus_huge_len.bin");
+  std::vector<uint8_t> bytes = {'L', 'R', 'W', 'W', 'A', 'L', 'K', '1'};
+  const uint64_t counts[2] = {uint64_t{1} << 60, uint64_t{1} << 60};
+  for (const uint64_t c : counts) {
+    for (size_t i = 0; i < sizeof(c); ++i) {
+      bytes.push_back(static_cast<uint8_t>(c >> (8 * i)));
+    }
+  }
+  bytes.resize(bytes.size() + 64, 0);
+  WriteBytes(path, bytes);
+  EXPECT_FALSE(analytics::ReadCorpusBinary(path).ok());
+}
+
+// Counts that individually fit the remaining bytes but whose sum does
+// not must also be rejected (and must not overflow the size check).
+TEST(IoHostileTest, CorpusOverlappingCountsRejected) {
+  const std::string path = TempPath("corpus_sum_len.bin");
+  std::vector<uint8_t> bytes = {'L', 'R', 'W', 'W', 'A', 'L', 'K', '1'};
+  // 64 trailing bytes; claim 16 offsets (64B) + 16 vertices (64B).
+  const uint64_t counts[2] = {16, 16};
+  for (const uint64_t c : counts) {
+    for (size_t i = 0; i < sizeof(c); ++i) {
+      bytes.push_back(static_cast<uint8_t>(c >> (8 * i)));
+    }
+  }
+  bytes.resize(bytes.size() + 64, 0);
+  WriteBytes(path, bytes);
+  EXPECT_FALSE(analytics::ReadCorpusBinary(path).ok());
+}
+
 TEST(IoHostileTest, EdgeListWithHugeNumbers) {
   const std::string path = TempPath("huge.txt");
   std::FILE* f = std::fopen(path.c_str(), "w");

@@ -1,0 +1,457 @@
+// Properties of the fault-injection subsystem: schedules are a pure
+// function of (seed, component id), disabled/zero-rate configurations
+// change nothing anywhere in the stack, and every recovery path
+// (ECC retry, retransmission, board failover) accounts exactly.
+
+#include <gtest/gtest.h>
+
+#include "apps/walk_app.h"
+#include "distributed/dist_engine.h"
+#include "distributed/partition.h"
+#include "graph/generators.h"
+#include "hwsim/dram.h"
+#include "hwsim/link.h"
+#include "hwsim/validation.h"
+#include "lightrw/cycle_engine.h"
+#include "obs/metrics.h"
+#include "reliability/fault_injector.h"
+
+namespace lightrw {
+namespace {
+
+using apps::StaticWalkApp;
+using graph::CsrGraph;
+using reliability::FaultConfig;
+using reliability::FaultStream;
+using reliability::ReliabilityStats;
+
+CsrGraph TestGraph() {
+  return graph::MakeDatasetStandIn(graph::Dataset::kLiveJournal,
+                                   /*scale_shift=*/11, /*seed=*/4);
+}
+
+FaultConfig EnabledConfig() {
+  FaultConfig faults;
+  faults.enabled = true;
+  return faults;
+}
+
+TEST(FaultStreamTest, SameSeedAndComponentBitIdentical) {
+  FaultConfig faults = EnabledConfig();
+  faults.dram_correctable_rate = 0.2;
+  faults.dram_uncorrectable_rate = 0.05;
+  FaultStream a(faults, 7);
+  FaultStream b(faults, 7);
+  for (int i = 0; i < 4096; ++i) {
+    EXPECT_EQ(a.NextDramFault(), b.NextDramFault()) << "draw " << i;
+  }
+}
+
+TEST(FaultStreamTest, ComponentsDrawIndependentSchedules) {
+  FaultConfig faults = EnabledConfig();
+  faults.link_drop_rate = 0.5;
+  FaultStream a(faults, 0);
+  FaultStream b(faults, 1);
+  int differing = 0;
+  for (int i = 0; i < 1024; ++i) {
+    differing += a.NextLinkFault() != b.NextLinkFault();
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(FaultStreamTest, ZeroRatesConsumeNoRandomness) {
+  FaultStream stream(EnabledConfig(), 3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(stream.NextDramFault(), reliability::DramFault::kNone);
+    EXPECT_EQ(stream.NextLinkFault(), reliability::LinkFault::kNone);
+  }
+  EXPECT_EQ(stream.draws(), 0u);
+}
+
+TEST(FaultStreamTest, RatesApproximatelyRespected) {
+  FaultConfig faults = EnabledConfig();
+  faults.dram_correctable_rate = 0.25;
+  FaultStream stream(faults, 11);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    hits += stream.NextDramFault() == reliability::DramFault::kCorrectable;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.02);
+}
+
+TEST(FaultConfigTest, ValidationRejectsBadRates) {
+  FaultConfig faults = EnabledConfig();
+  faults.dram_correctable_rate = -0.1;
+  EXPECT_FALSE(reliability::ValidateFaultConfig(faults).ok());
+  faults = EnabledConfig();
+  faults.link_drop_rate = 1.5;
+  EXPECT_FALSE(reliability::ValidateFaultConfig(faults).ok());
+  faults = EnabledConfig();
+  faults.dram_correctable_rate = 0.7;
+  faults.dram_uncorrectable_rate = 0.7;  // sum > 1
+  EXPECT_FALSE(reliability::ValidateFaultConfig(faults).ok());
+  EXPECT_TRUE(reliability::ValidateFaultConfig(EnabledConfig()).ok());
+  EXPECT_TRUE(reliability::ValidateFaultConfig(FaultConfig{}).ok());
+}
+
+TEST(HwsimValidationTest, RejectsDegenerateConfigs) {
+  hwsim::DramConfig dram;
+  dram.clock_hz = 0;
+  EXPECT_FALSE(hwsim::ValidateDramConfig(dram).ok());
+  EXPECT_TRUE(hwsim::ValidateDramConfig(hwsim::DramConfig{}).ok());
+  hwsim::LinkConfig link;
+  link.bytes_per_cycle = 0.0;
+  EXPECT_FALSE(hwsim::ValidateLinkConfig(link).ok());
+  EXPECT_TRUE(hwsim::ValidateLinkConfig(hwsim::LinkConfig{}).ok());
+}
+
+TEST(DramEccTest, CorrectableErrorDelaysButCompletes) {
+  hwsim::DramConfig config;
+  hwsim::DramChannel clean(config);
+  hwsim::DramChannel faulty(config);
+  FaultConfig faults = EnabledConfig();
+  // Every access takes one correctable hit: ECC fixes it at the cost of
+  // one burst re-issue, so the access always completes.
+  faults.dram_correctable_rate = 1.0;
+  FaultStream stream(faults, 0);
+  ReliabilityStats rel;
+  faulty.AttachFaults(&stream, &rel);
+  hwsim::Cycle clean_done = 0, faulty_done = 0;
+  for (int i = 0; i < 200; ++i) {
+    clean_done = clean.Access(clean_done, 1);
+    faulty_done = faulty.Access(faulty_done, 1);
+  }
+  EXPECT_GT(rel.dram_correctable, 0u);
+  EXPECT_EQ(rel.dram_retries, rel.dram_correctable);
+  EXPECT_EQ(rel.dram_failed_accesses, 0u);
+  EXPECT_FALSE(faulty.TakeAccessFailure());
+  // Retries re-occupy the channel, so the faulty channel finishes later.
+  EXPECT_GT(faulty_done, clean_done);
+}
+
+TEST(DramEccTest, UncorrectablePastBudgetFailsAccess) {
+  hwsim::DramChannel channel{hwsim::DramConfig{}};
+  FaultConfig faults = EnabledConfig();
+  faults.dram_uncorrectable_rate = 1.0;  // every issue fails
+  faults.max_dram_retries = 2;
+  FaultStream stream(faults, 0);
+  ReliabilityStats rel;
+  channel.AttachFaults(&stream, &rel);
+  channel.Access(0, 4);
+  EXPECT_TRUE(channel.TakeAccessFailure());
+  EXPECT_FALSE(channel.TakeAccessFailure());  // sticky flag clears on read
+  EXPECT_EQ(rel.dram_failed_accesses, 1u);
+  EXPECT_EQ(rel.dram_uncorrectable, 3u);  // initial issue + 2 retries
+  EXPECT_EQ(rel.dram_retries, 2u);
+}
+
+TEST(LinkRetransmitTest, NoFaultsMatchesPlainSend) {
+  hwsim::LinkConfig config;
+  hwsim::NetworkLink plain(config);
+  hwsim::NetworkLink reliable(config);
+  const auto arrival = plain.Send(0, 64);
+  const auto delivery = reliable.SendReliable(0, 64);
+  EXPECT_TRUE(delivery.delivered);
+  EXPECT_EQ(delivery.arrival, arrival);
+  EXPECT_EQ(delivery.attempts, 1u);
+}
+
+TEST(LinkRetransmitTest, DropsRetryWithBackoffUntilBudget) {
+  hwsim::LinkConfig config;
+  hwsim::NetworkLink link(config);
+  FaultConfig faults = EnabledConfig();
+  faults.link_drop_rate = 1.0;  // nothing ever gets through
+  faults.max_retransmissions = 3;
+  faults.retransmit_timeout_cycles = 100;
+  FaultStream stream(faults, 0);
+  ReliabilityStats rel;
+  link.AttachFaults(&stream, &rel);
+  const auto delivery = link.SendReliable(0, 64);
+  EXPECT_FALSE(delivery.delivered);
+  EXPECT_EQ(delivery.attempts, 4u);  // initial + 3 retransmissions
+  EXPECT_EQ(rel.link_dropped, 4u);
+  EXPECT_EQ(rel.retransmissions, 3u);
+  EXPECT_EQ(rel.link_failed_sends, 1u);
+  EXPECT_EQ(link.stats().messages, 4u);
+}
+
+core::AcceleratorConfig AccelConfig() {
+  core::AcceleratorConfig config;
+  config.num_instances = 2;
+  config.seed = 9;
+  return config;
+}
+
+struct RunResult {
+  baseline::WalkOutput output;
+  core::AccelRunStats stats;
+  std::string metrics_json;
+};
+
+RunResult RunAccel(const core::AcceleratorConfig& base) {
+  const CsrGraph g = TestGraph();
+  StaticWalkApp app;
+  obs::MetricsRegistry metrics;
+  core::AcceleratorConfig config = base;
+  config.metrics = &metrics;
+  core::CycleEngine engine(&g, &app, config);
+  const auto queries = apps::MakeVertexQueries(g, 12, 3, 400);
+  RunResult result;
+  result.stats = engine.Run(queries, &result.output);
+  result.metrics_json = metrics.ToJsonString();
+  return result;
+}
+
+// The central no-regression property: enabling the subsystem with all
+// rates at zero must change no walk, no cycle count, and no metric.
+TEST(FaultDeterminismTest, EnabledZeroRatesBitIdenticalToDisabled) {
+  core::AcceleratorConfig off = AccelConfig();
+  core::AcceleratorConfig on = AccelConfig();
+  on.faults = EnabledConfig();
+  const RunResult a = RunAccel(off);
+  const RunResult b = RunAccel(on);
+  EXPECT_EQ(a.output.vertices, b.output.vertices);
+  EXPECT_EQ(a.output.offsets, b.output.offsets);
+  EXPECT_EQ(a.stats.cycles, b.stats.cycles);
+  EXPECT_EQ(a.stats.steps, b.stats.steps);
+  EXPECT_EQ(a.stats.dram.requests, b.stats.dram.requests);
+  EXPECT_EQ(a.metrics_json, b.metrics_json);
+  EXPECT_FALSE(b.stats.reliability.Any());
+}
+
+TEST(FaultDeterminismTest, SameFaultSeedBitIdenticalRuns) {
+  core::AcceleratorConfig config = AccelConfig();
+  config.faults = EnabledConfig();
+  config.faults.dram_correctable_rate = 0.01;
+  config.faults.dram_uncorrectable_rate = 0.001;
+  const RunResult a = RunAccel(config);
+  const RunResult b = RunAccel(config);
+  EXPECT_GT(a.stats.reliability.FaultsInjected(), 0u);
+  EXPECT_EQ(a.output.vertices, b.output.vertices);
+  EXPECT_EQ(a.output.offsets, b.output.offsets);
+  EXPECT_EQ(a.stats.cycles, b.stats.cycles);
+  EXPECT_EQ(a.stats.reliability.dram_correctable,
+            b.stats.reliability.dram_correctable);
+  EXPECT_EQ(a.stats.reliability.walks_failed,
+            b.stats.reliability.walks_failed);
+  EXPECT_EQ(a.metrics_json, b.metrics_json);
+}
+
+TEST(FaultDeterminismTest, DifferentFaultSeedsDifferentSchedules) {
+  core::AcceleratorConfig config = AccelConfig();
+  config.faults = EnabledConfig();
+  config.faults.dram_correctable_rate = 0.01;
+  const RunResult a = RunAccel(config);
+  config.faults.seed = 2;
+  const RunResult b = RunAccel(config);
+  // Same walk RNG seed, different fault schedule: fault counts differ
+  // (overwhelmingly likely over thousands of draws).
+  EXPECT_NE(a.stats.cycles, b.stats.cycles);
+}
+
+TEST(FaultDeterminismTest, CorrectableFaultsSlowButPreserveWalks) {
+  core::AcceleratorConfig clean = AccelConfig();
+  core::AcceleratorConfig noisy = AccelConfig();
+  noisy.faults = EnabledConfig();
+  noisy.faults.dram_correctable_rate = 0.05;
+  const RunResult a = RunAccel(clean);
+  const RunResult b = RunAccel(noisy);
+  // ECC corrections cost retries (time). The changed timing reshuffles
+  // which in-flight walk samples next (the walk RNG draws in event
+  // order), but no walk is corrupted or lost: every query retires with a
+  // valid path.
+  EXPECT_GT(b.stats.cycles, a.stats.cycles);
+  EXPECT_GT(b.stats.reliability.dram_correctable, 0u);
+  EXPECT_EQ(b.stats.reliability.walks_failed, 0u);
+  EXPECT_EQ(b.stats.queries, a.stats.queries);
+  EXPECT_EQ(b.output.offsets.size(), a.output.offsets.size());
+}
+
+TEST(FaultDeterminismTest, UncorrectableFaultsFailWalks) {
+  core::AcceleratorConfig config = AccelConfig();
+  config.faults = EnabledConfig();
+  config.faults.dram_uncorrectable_rate = 0.02;
+  config.faults.max_dram_retries = 1;
+  const RunResult r = RunAccel(config);
+  EXPECT_GT(r.stats.reliability.dram_failed_accesses, 0u);
+  EXPECT_GT(r.stats.reliability.walks_failed, 0u);
+  // Every query still retires (failed walks retire truncated).
+  EXPECT_EQ(r.stats.queries, 400u);
+  EXPECT_FALSE(
+      reliability::ReliabilityStatus(r.stats.reliability).ok());
+}
+
+distributed::DistributedConfig DistConfig() {
+  distributed::DistributedConfig config;
+  config.board.num_instances = 1;
+  config.board.seed = 13;
+  return config;
+}
+
+TEST(DistributedFaultTest, RunRejectsInvalidConfig) {
+  const CsrGraph g = TestGraph();
+  StaticWalkApp app;
+  const auto p =
+      distributed::MakePartition(g, 4, distributed::PartitionStrategy::kHash);
+  auto config = DistConfig();
+  config.walker_message_bytes = 0;
+  distributed::DistributedEngine engine(&g, &app, &p, config);
+  const auto queries = apps::MakeVertexQueries(g, 8, 3, 50);
+  EXPECT_FALSE(engine.Run(queries).ok());
+}
+
+TEST(DistributedFaultTest, RunRejectsUnsatisfiableFailover) {
+  const CsrGraph g = TestGraph();
+  StaticWalkApp app;
+  const auto queries = apps::MakeVertexQueries(g, 8, 3, 50);
+  auto config = DistConfig();
+  config.board.faults = EnabledConfig();
+  config.board.faults.fail_cycle = 1000;
+  config.board.faults.fail_board = 7;  // out of range for 4 boards
+  const auto four =
+      distributed::MakePartition(g, 4, distributed::PartitionStrategy::kHash);
+  EXPECT_FALSE(distributed::DistributedEngine(&g, &app, &four, config)
+                   .Run(queries)
+                   .ok());
+  config.board.faults.fail_board = 0;  // no survivor on 1 board
+  const auto one =
+      distributed::MakePartition(g, 1, distributed::PartitionStrategy::kHash);
+  EXPECT_FALSE(distributed::DistributedEngine(&g, &app, &one, config)
+                   .Run(queries)
+                   .ok());
+}
+
+// The headline failover guarantee: killing a board mid-run in
+// replicate_graph mode loses zero walks — every query retires, recovered
+// walkers are counted, and the run exits clean.
+TEST(DistributedFaultTest, BoardFailureRecoversAllWalksWhenReplicated) {
+  const CsrGraph g = TestGraph();
+  StaticWalkApp app;
+  const auto p =
+      distributed::MakePartition(g, 4, distributed::PartitionStrategy::kHash);
+  auto config = DistConfig();
+  config.replicate_graph = true;
+  config.board.faults = EnabledConfig();
+  config.board.faults.fail_cycle = 30000;
+  config.board.faults.fail_board = 1;
+  config.board.faults.checkpoint_interval_cycles = 4096;
+  distributed::DistributedEngine engine(&g, &app, &p, config);
+  const auto queries = apps::MakeVertexQueries(g, 20, 3, 800);
+  baseline::WalkOutput output;
+  const auto result = engine.Run(queries, &output);
+  ASSERT_TRUE(result.ok());
+  const auto& stats = *result;
+  EXPECT_EQ(stats.queries, queries.size());
+  EXPECT_EQ(output.num_paths(), queries.size());
+  EXPECT_EQ(stats.reliability.board_failures, 1u);
+  EXPECT_GT(stats.reliability.walkers_recovered, 0u);
+  EXPECT_GT(stats.reliability.checkpoints, 0u);
+  EXPECT_EQ(stats.reliability.walkers_lost, 0u);
+  EXPECT_EQ(stats.reliability.walks_failed, 0u);
+  EXPECT_TRUE(reliability::ReliabilityStatus(stats.reliability).ok());
+  // Recovered paths are still valid walks.
+  for (size_t i = 0; i < output.num_paths(); ++i) {
+    const auto path = output.Path(i);
+    EXPECT_EQ(path[0], queries[i].start);
+    for (size_t s = 1; s < path.size(); ++s) {
+      EXPECT_TRUE(g.HasEdge(path[s - 1], path[s]));
+    }
+  }
+}
+
+TEST(DistributedFaultTest, BoardFailureRecoversInPartitionedMode) {
+  const CsrGraph g = TestGraph();
+  StaticWalkApp app;
+  const auto p =
+      distributed::MakePartition(g, 4, distributed::PartitionStrategy::kHash);
+  auto config = DistConfig();
+  config.board.faults = EnabledConfig();
+  config.board.faults.fail_cycle = 30000;
+  config.board.faults.fail_board = 2;
+  config.board.faults.checkpoint_interval_cycles = 4096;
+  distributed::DistributedEngine engine(&g, &app, &p, config);
+  const auto queries = apps::MakeVertexQueries(g, 20, 3, 800);
+  baseline::WalkOutput output;
+  const auto result = engine.Run(queries, &output);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->queries, queries.size());
+  EXPECT_EQ(result->reliability.walkers_lost, 0u);
+  EXPECT_GT(result->reliability.walkers_recovered, 0u);
+  // Paths remain valid even across the partition re-assignment.
+  for (size_t i = 0; i < output.num_paths(); ++i) {
+    const auto path = output.Path(i);
+    for (size_t s = 1; s < path.size(); ++s) {
+      EXPECT_TRUE(g.HasEdge(path[s - 1], path[s]));
+    }
+  }
+}
+
+TEST(DistributedFaultTest, NoCheckpointsLosesWalks) {
+  const CsrGraph g = TestGraph();
+  StaticWalkApp app;
+  const auto p =
+      distributed::MakePartition(g, 4, distributed::PartitionStrategy::kHash);
+  auto config = DistConfig();
+  config.replicate_graph = true;
+  config.board.faults = EnabledConfig();
+  config.board.faults.fail_cycle = 30000;
+  config.board.faults.fail_board = 1;
+  config.board.faults.checkpoint_interval_cycles = 0;  // no checkpoints
+  distributed::DistributedEngine engine(&g, &app, &p, config);
+  const auto queries = apps::MakeVertexQueries(g, 20, 3, 800);
+  const auto result = engine.Run(queries);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->reliability.walkers_lost, 0u);
+  EXPECT_EQ(result->reliability.walkers_recovered, 0u);
+  EXPECT_FALSE(reliability::ReliabilityStatus(result->reliability).ok());
+}
+
+TEST(DistributedFaultTest, LinkFaultsRetransmitDeterministically) {
+  const CsrGraph g = TestGraph();
+  StaticWalkApp app;
+  const auto p =
+      distributed::MakePartition(g, 4, distributed::PartitionStrategy::kHash);
+  auto config = DistConfig();
+  config.board.faults = EnabledConfig();
+  config.board.faults.link_drop_rate = 0.02;
+  config.board.faults.link_corrupt_rate = 0.01;
+  const auto queries = apps::MakeVertexQueries(g, 10, 3, 500);
+  const auto a =
+      distributed::DistributedEngine(&g, &app, &p, config).Run(queries);
+  const auto b =
+      distributed::DistributedEngine(&g, &app, &p, config).Run(queries);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_GT(a->reliability.retransmissions, 0u);
+  EXPECT_EQ(a->cycles, b->cycles);
+  EXPECT_EQ(a->reliability.retransmissions, b->reliability.retransmissions);
+  EXPECT_EQ(a->reliability.link_dropped, b->reliability.link_dropped);
+  // Retransmissions cost wire time but lose no messages below the budget.
+  EXPECT_EQ(a->queries, queries.size());
+}
+
+TEST(DistributedFaultTest, ZeroRatesMatchDisabledRun) {
+  const CsrGraph g = TestGraph();
+  StaticWalkApp app;
+  const auto p =
+      distributed::MakePartition(g, 4, distributed::PartitionStrategy::kHash);
+  const auto queries = apps::MakeVertexQueries(g, 10, 3, 300);
+  auto off = DistConfig();
+  auto on = DistConfig();
+  on.board.faults = EnabledConfig();
+  baseline::WalkOutput out_off, out_on;
+  const auto a = distributed::DistributedEngine(&g, &app, &p, off)
+                     .Run(queries, &out_off);
+  const auto b = distributed::DistributedEngine(&g, &app, &p, on)
+                     .Run(queries, &out_on);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->cycles, b->cycles);
+  EXPECT_EQ(out_off.vertices, out_on.vertices);
+  EXPECT_EQ(out_off.offsets, out_on.offsets);
+  EXPECT_FALSE(b->reliability.Any());
+}
+
+}  // namespace
+}  // namespace lightrw
