@@ -30,6 +30,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "reliability/fault_injector.h"
+#include "service/walk_service.h"
 
 namespace {
 
@@ -54,6 +55,26 @@ std::unique_ptr<apps::WalkApp> MakeApp(const std::string& name,
     return std::make_unique<apps::StaticWalkApp>();
   }
   return nullptr;
+}
+
+// Maps a --partition flag value; false (with a one-line stderr reason)
+// for an unknown name.
+bool ParseStrategy(const std::string& name,
+                   distributed::PartitionStrategy* out) {
+  if (name == "hash") {
+    *out = distributed::PartitionStrategy::kHash;
+  } else if (name == "range") {
+    *out = distributed::PartitionStrategy::kRange;
+  } else if (name == "greedy") {
+    *out = distributed::PartitionStrategy::kGreedy;
+  } else {
+    std::fprintf(stderr,
+                 "unknown partition strategy '%s' (expected "
+                 "hash|range|greedy)\n",
+                 name.c_str());
+    return false;
+  }
+  return true;
 }
 
 // Fault schedule from the --fault-* flags. Any non-default fault flag
@@ -120,7 +141,7 @@ int main(int argc, char** argv) {
   flags.Define("app", "walk app: deepwalk|node2vec|metapath|ppr",
                "node2vec");
   flags.Define("engine",
-               "walk engine: cpu|lightrw|lightrw-sim|distributed",
+               "walk engine: cpu|lightrw|lightrw-sim|distributed|service",
                "lightrw");
   flags.DefineInt("length", "walk length (steps)", 40);
   flags.DefineInt("queries", "number of queries (0 = one per vertex)", 0);
@@ -149,6 +170,48 @@ int main(int argc, char** argv) {
                    "replicate the full graph on every board "
                    "(engine=distributed)",
                    false);
+  flags.DefineDouble("service-rate",
+                     "offered arrival rate in queries per 1024 simulated "
+                     "cycles (engine=service)",
+                     1.0);
+  flags.DefineInt("service-deadline",
+                  "per-query deadline in simulated cycles after arrival "
+                  "(0 = none; engine=service)",
+                  0);
+  flags.DefineInt("service-queue-cap",
+                  "bounded admission queue capacity per board "
+                  "(engine=service)",
+                  64);
+  flags.DefineInt("service-retries",
+                  "re-admissions allowed per bounced or failed query "
+                  "(engine=service)",
+                  2);
+  flags.DefineBool("service-degrade",
+                   "degrade best-effort queries under congestion "
+                   "(engine=service)",
+                   true);
+  flags.DefineDouble("service-best-effort",
+                     "fraction of queries eligible for degradation "
+                     "(engine=service)",
+                     1.0);
+  flags.DefineDouble("service-burst",
+                     "arrival rate multiplier during bursts "
+                     "(engine=service)",
+                     1.0);
+  flags.DefineInt("service-burst-on",
+                  "burst phase length in cycles (0 = steady arrivals; "
+                  "engine=service)",
+                  0);
+  flags.DefineInt("service-burst-off",
+                  "inter-burst gap length in cycles (engine=service)", 0);
+  flags.DefineDouble("slo-max-shed",
+                     "exit 2 if the shed rate exceeds this fraction "
+                     "(engine=service)",
+                     1.0);
+  flags.DefineDouble("slo-max-violation",
+                     "exit 2 if the deadline violation rate exceeds this "
+                     "fraction (engine=service)",
+                     1.0);
   flags.DefineBool("faults", "enable the fault-injection subsystem", false);
   flags.DefineInt("fault-seed", "fault schedule seed", 1);
   flags.DefineDouble("fault-dram-correctable",
@@ -225,11 +288,16 @@ int main(int argc, char** argv) {
     return 1;
   }
   const uint32_t length = static_cast<uint32_t>(raw_length);
-  const auto queries = apps::MakeVertexQueries(
-      g, length, flags.GetInt("seed"), static_cast<size_t>(raw_queries));
-  std::printf("app %s, %zu queries of length %u, engine %s\n",
-              app->name().c_str(), queries.size(), length,
-              flags.GetString("engine").c_str());
+  const std::string engine = flags.GetString("engine");
+  // The service engine generates its own open-loop arrival stream; every
+  // other engine runs the standard closed query set.
+  std::vector<apps::WalkQuery> queries;
+  if (engine != "service") {
+    queries = apps::MakeVertexQueries(g, length, flags.GetInt("seed"),
+                                      static_cast<size_t>(raw_queries));
+    std::printf("app %s, %zu queries of length %u, engine %s\n",
+                app->name().c_str(), queries.size(), length, engine.c_str());
+  }
 
   // Observability sinks, shared by every engine path. The trace only
   // fills for the cycle-accurate engines (the CPU path has no simulated
@@ -246,7 +314,6 @@ int main(int argc, char** argv) {
   baseline::WalkOutput corpus;
   WallTimer timer;
   int exit_code = 0;
-  const std::string engine = flags.GetString("engine");
   if (engine == "cpu") {
     baseline::BaselineConfig config;
     config.seed = flags.GetInt("seed");
@@ -303,17 +370,7 @@ int main(int argc, char** argv) {
     }
     const std::string strategy_name = flags.GetString("partition");
     distributed::PartitionStrategy strategy;
-    if (strategy_name == "hash") {
-      strategy = distributed::PartitionStrategy::kHash;
-    } else if (strategy_name == "range") {
-      strategy = distributed::PartitionStrategy::kRange;
-    } else if (strategy_name == "greedy") {
-      strategy = distributed::PartitionStrategy::kGreedy;
-    } else {
-      std::fprintf(stderr,
-                   "unknown partition strategy '%s' (expected "
-                   "hash|range|greedy)\n",
-                   strategy_name.c_str());
+    if (!ParseStrategy(strategy_name, &strategy)) {
       return 1;
     }
     const distributed::Partition partition = distributed::MakePartition(
@@ -349,6 +406,88 @@ int main(int argc, char** argv) {
         stats.StepsPerSecond() / 1e6);
     PrintReliabilitySummary(stats.reliability);
     exit_code = ReliabilityExitCode(stats.reliability);
+  } else if (engine == "service") {
+    const int64_t boards = flags.GetInt("boards");
+    if (boards < 1 || boards > 1024) {
+      std::fprintf(stderr, "--boards must be in [1, 1024], got %lld\n",
+                   static_cast<long long>(boards));
+      return 1;
+    }
+    distributed::PartitionStrategy strategy;
+    if (!ParseStrategy(flags.GetString("partition"), &strategy)) {
+      return 1;
+    }
+    const distributed::Partition partition = distributed::MakePartition(
+        g, static_cast<distributed::BoardId>(boards), strategy);
+    service::ServiceConfig config;
+    config.cluster.board.num_instances = 1;
+    config.cluster.board.seed = flags.GetInt("seed");
+    config.cluster.board.faults = faults;
+    config.cluster.replicate_graph = flags.GetBool("replicate");
+    if (!metrics_out.empty()) {
+      config.cluster.board.metrics = &metrics;
+    }
+    if (!trace_out.empty()) {
+      config.cluster.board.trace = &trace;
+    }
+    config.arrivals.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+    config.arrivals.num_queries =
+        raw_queries > 0 ? static_cast<uint64_t>(raw_queries) : 1024;
+    config.arrivals.walk_length = length;
+    config.arrivals.rate_per_kcycle = flags.GetDouble("service-rate");
+    config.arrivals.deadline_cycles =
+        static_cast<uint64_t>(flags.GetInt("service-deadline"));
+    config.arrivals.best_effort_fraction =
+        flags.GetDouble("service-best-effort");
+    config.arrivals.burst_factor = flags.GetDouble("service-burst");
+    config.arrivals.burst_on_cycles =
+        static_cast<uint64_t>(flags.GetInt("service-burst-on"));
+    config.arrivals.burst_off_cycles =
+        static_cast<uint64_t>(flags.GetInt("service-burst-off"));
+    config.queue_capacity =
+        static_cast<uint32_t>(flags.GetInt("service-queue-cap"));
+    config.retry_budget =
+        static_cast<uint32_t>(flags.GetInt("service-retries"));
+    config.degrade_enabled = flags.GetBool("service-degrade");
+    const Status valid = service::ValidateServiceConfig(config);
+    if (!valid.ok()) {
+      std::fprintf(stderr, "invalid service configuration: %s\n",
+                   valid.ToString().c_str());
+      return 1;
+    }
+    std::printf("app %s, %llu offered queries of length %u at %.3f/kcycle, "
+                "engine service (%lld board(s))\n",
+                app->name().c_str(),
+                static_cast<unsigned long long>(config.arrivals.num_queries),
+                length, config.arrivals.rate_per_kcycle,
+                static_cast<long long>(boards));
+    service::WalkService service(&g, app.get(), &partition, config);
+    const auto result = service.Run(&corpus);
+    if (!result.ok()) {
+      std::fprintf(stderr, "service run failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    const auto& stats = *result;
+    std::printf(
+        "service: %llu cycles = %.4fs simulated, %llu steps (%.2f "
+        "Msteps/s)\n",
+        static_cast<unsigned long long>(stats.cycles), stats.seconds,
+        static_cast<unsigned long long>(stats.cluster.steps),
+        stats.cluster.StepsPerSecond() / 1e6);
+    std::fputs(core::FormatSloSection(stats.Slo()).c_str(), stdout);
+    PrintReliabilitySummary(stats.cluster.reliability);
+    const double max_shed = flags.GetDouble("slo-max-shed");
+    const double max_violation = flags.GetDouble("slo-max-violation");
+    if (stats.ShedRate() > max_shed ||
+        stats.ViolationRate() > max_violation) {
+      std::fprintf(stderr,
+                   "slo breached: shed rate %.4f (max %.4f), deadline "
+                   "violation rate %.4f (max %.4f)\n",
+                   stats.ShedRate(), max_shed, stats.ViolationRate(),
+                   max_violation);
+      exit_code = 2;
+    }
   } else if (engine == "lightrw") {
     core::AcceleratorConfig config;
     config.seed = flags.GetInt("seed");
@@ -360,7 +499,7 @@ int main(int argc, char** argv) {
   } else {
     std::fprintf(stderr,
                  "unknown engine '%s' (expected "
-                 "cpu|lightrw|lightrw-sim|distributed)\n",
+                 "cpu|lightrw|lightrw-sim|distributed|service)\n",
                  engine.c_str());
     return 1;
   }

@@ -1,0 +1,550 @@
+#include "distributed/cluster_sim.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "common/bits.h"
+#include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace lightrw::distributed {
+
+namespace {
+
+using apps::WalkState;
+using graph::VertexId;
+using hwsim::Cycle;
+
+// Trace track (tid) layout within one board's pid.
+enum BoardTrack : uint32_t {
+  kBoardDramTrack = 0,
+  kBoardNetTrack = 1,
+};
+
+enum class Phase { kInfo, kFetch };
+
+}  // namespace
+
+// Per-board datapath: one LightRW accelerator channel plus an egress link.
+struct ClusterSim::Board {
+  Board(const core::AcceleratorConfig& config,
+        const hwsim::LinkConfig& link_config)
+      : channel(config.dram),
+        burst(&channel, config.burst),
+        cache(core::MakeVertexCache(config.cache_kind, config.cache_entries)),
+        link(link_config) {}
+
+  hwsim::DramChannel channel;
+  core::DynamicBurstEngine burst;
+  std::unique_ptr<core::VertexCache> cache;
+  hwsim::NetworkLink link;
+  hwsim::Cycle sampler_busy = 0;  // the k-wide sampler unit is shared
+  uint64_t steps_served = 0;      // steps executed on this board
+  uint64_t migrations_out = 0;    // walkers shipped off this board
+  hwsim::Cycle last_activity = 0; // latest step completion on this board
+  // Deterministic fault schedules (one stream per fault domain) and the
+  // counters their events land in.
+  reliability::FaultStream dram_faults;
+  reliability::FaultStream link_faults;
+  reliability::ReliabilityStats rel;
+};
+
+// Periodic walker-state snapshot: everything failover needs to resume the
+// walk from the checkpointed step — including the private RNG streams, so
+// replayed steps reproduce the original path exactly.
+struct WalkerCheckpoint {
+  WalkState state;
+  uint32_t path_len = 1;
+  uint64_t epoch = 0;  // checkpoint interval index of the snapshot
+  rng::ThunderingRng rng{1, 0};
+  rng::Xoshiro256StarStar aux{0};
+};
+
+struct ClusterSim::Walker {
+  WalkState state;
+  uint32_t remaining = 0;
+  uint64_t ticket = 0;
+  BoardId board = 0;         // board currently executing the walker
+  BoardId launch_board = 0;  // board charged for the slot
+  Phase phase = Phase::kInfo;
+  WalkerOptions opts;
+  std::vector<VertexId> path;
+  // Private sampling streams: the WRS lanes draw from `rng`, geometric
+  // stop coins and degraded uniform picks from `aux`. Seeded per Launch
+  // from (config seed, ticket) so the walk is interleaving-independent.
+  rng::ThunderingRng rng{1, 0};
+  rng::Xoshiro256StarStar aux{0};
+  // Constructed lazily (it holds a pointer to `rng`, whose address is
+  // only stable once the walker vector stops relocating).
+  std::unique_ptr<core::StepSampler> sampler;
+  WalkerCheckpoint ckpt;
+};
+
+Status CheckFailoverSatisfiable(const DistributedConfig& config,
+                                BoardId num_boards) {
+  const reliability::FaultConfig& faults = config.board.faults;
+  if (!faults.enabled || faults.fail_cycle == 0) {
+    return Status::Ok();
+  }
+  if (faults.fail_board >= num_boards) {
+    return InvalidArgumentError(
+        "faults.fail_board " + std::to_string(faults.fail_board) +
+        " out of range for " + std::to_string(num_boards) + " board(s)");
+  }
+  if (num_boards < 2) {
+    return FailedPreconditionError(
+        "board failover needs at least 2 boards (no survivor to recover "
+        "onto)");
+  }
+  return Status::Ok();
+}
+
+ClusterSim::ClusterSim(const graph::CsrGraph* graph, const apps::WalkApp* app,
+                       const Partition* partition,
+                       const DistributedConfig& config, uint32_t max_walkers)
+    : graph_(graph), app_(app), partition_(partition), config_(config) {
+  LIGHTRW_CHECK(graph != nullptr);
+  LIGHTRW_CHECK(app != nullptr);
+  LIGHTRW_CHECK(partition != nullptr);
+  LIGHTRW_CHECK_EQ(partition->owners().size(), graph->num_vertices());
+
+  const BoardId num_boards = partition->num_boards();
+  const reliability::FaultConfig& faults = config_.board.faults;
+  failure_scheduled_ = faults.enabled && faults.fail_cycle > 0;
+  // Checkpoints are taken whenever a fault source could force a recovery
+  // (the service layer retries whole queries instead, so surfaced-failure
+  // mode never replays from checkpoints — but taking them is harmless and
+  // keeps the checkpoint accounting comparable across modes).
+  const bool recovery_possible =
+      failure_scheduled_ ||
+      (faults.enabled &&
+       (faults.link_drop_rate > 0.0 || faults.link_corrupt_rate > 0.0));
+  checkpointing_ =
+      recovery_possible && faults.checkpoint_interval_cycles > 0;
+  ckpt_interval_ = checkpointing_ ? faults.checkpoint_interval_cycles : 0;
+
+  obs::TraceRecorder* trace = config_.board.trace;
+  boards_.reserve(num_boards);
+  for (BoardId b = 0; b < num_boards; ++b) {
+    boards_.emplace_back(config_.board, config_.link);
+  }
+  for (BoardId b = 0; b < num_boards; ++b) {
+    Board& board = boards_[b];
+    if (faults.enabled) {
+      board.dram_faults = reliability::FaultStream(faults, b);
+      board.link_faults = reliability::FaultStream(faults, 0x10000ULL + b);
+      board.channel.AttachFaults(&board.dram_faults, &board.rel);
+      board.link.AttachFaults(&board.link_faults, &board.rel);
+    }
+    if (trace != nullptr) {
+      trace->NameProcess(b, "board " + std::to_string(b));
+      trace->NameTrack(b, kBoardDramTrack, "dram channel");
+      trace->NameTrack(b, kBoardNetTrack, "network / faults");
+      board.channel.AttachTrace(trace, b, kBoardDramTrack);
+    }
+  }
+
+  walkers_ = std::vector<Walker>(max_walkers);
+  inflight_.assign(num_boards, 0);
+  for (size_t i = 0; i < walkers_.size(); ++i) {
+    free_slots_.push(i);
+  }
+}
+
+ClusterSim::~ClusterSim() = default;
+
+BoardId ClusterSim::num_boards() const { return partition_->num_boards(); }
+
+bool ClusterSim::IsDead(BoardId b, Cycle t) const {
+  return failure_scheduled_ && b == config_.board.faults.fail_board &&
+         t >= config_.board.faults.fail_cycle;
+}
+
+BoardId ClusterSim::SurvivorOf(uint64_t salt) const {
+  const BoardId fail_board = config_.board.faults.fail_board;
+  const BoardId survivors = static_cast<BoardId>(num_boards() - 1);
+  const BoardId idx = static_cast<BoardId>(salt % survivors);
+  return idx >= fail_board ? static_cast<BoardId>(idx + 1) : idx;
+}
+
+BoardId ClusterSim::LiveOwnerOf(VertexId v, Cycle t) const {
+  const BoardId owner = partition_->OwnerOf(v);
+  return IsDead(owner, t) ? SurvivorOf(v) : owner;
+}
+
+uint32_t ClusterSim::InflightOn(BoardId b) const { return inflight_[b]; }
+
+uint32_t ClusterSim::free_slots() const {
+  return static_cast<uint32_t>(free_slots_.size());
+}
+
+void ClusterSim::Launch(uint64_t ticket, const apps::WalkQuery& query,
+                        BoardId board, Cycle at,
+                        const WalkerOptions& options) {
+  LIGHTRW_CHECK(!free_slots_.empty());
+  LIGHTRW_CHECK(board < num_boards());
+  const size_t slot = free_slots_.top();
+  free_slots_.pop();
+  Walker& w = walkers_[slot];
+  w.state = WalkState{};
+  w.state.curr = query.start;
+  w.remaining = options.max_steps > 0
+                    ? std::min(query.length, options.max_steps)
+                    : query.length;
+  w.ticket = ticket;
+  w.board = board;
+  w.launch_board = board;
+  w.phase = Phase::kInfo;
+  w.opts = options;
+  w.path.clear();
+  w.path.push_back(query.start);
+  // Private streams keyed on (seed, ticket): the walk's outcome is a pure
+  // function of the ticket, independent of timing and placement.
+  rng::SplitMix64 mix(config_.board.seed +
+                      0x9e3779b97f4a7c15ULL * (ticket + 1));
+  w.rng = rng::ThunderingRng(config_.board.sampler_parallelism, mix.Next());
+  w.aux = rng::Xoshiro256StarStar(mix.Next());
+  if (w.sampler == nullptr) {
+    w.sampler = std::make_unique<core::StepSampler>(
+        config_.board.sampler_parallelism, &w.rng);
+  }
+  // Dispatch checkpoint: a walker can always be recovered to its start.
+  w.ckpt.state = w.state;
+  w.ckpt.path_len = 1;
+  w.ckpt.epoch = checkpointing_ ? at / ckpt_interval_ : 0;
+  w.ckpt.rng = w.rng;
+  w.ckpt.aux = w.aux;
+  ++inflight_[board];
+  events_.emplace(at, 0, slot);
+}
+
+void ClusterSim::ScheduleWake(uint64_t tag, Cycle at) {
+  events_.emplace(at, 1, tag);
+}
+
+void ClusterSim::TakeCheckpoint(Walker& w, Board& board, Cycle at) {
+  if (!checkpointing_) {
+    return;
+  }
+  const uint64_t epoch = at / ckpt_interval_;
+  if (epoch > w.ckpt.epoch) {
+    w.ckpt.state = w.state;
+    w.ckpt.path_len = static_cast<uint32_t>(w.path.size());
+    w.ckpt.epoch = epoch;
+    w.ckpt.rng = w.rng;
+    w.ckpt.aux = w.aux;
+    ++board.rel.checkpoints;
+  }
+}
+
+Cycle ClusterSim::LookupInfo(Board& board, Cycle t, VertexId v) {
+  // Row lookup through the board's cache (same policy as the
+  // single-board engine's LookupNeighborInfo).
+  if (board.cache != nullptr && board.cache->Probe(v)) {
+    return t + 1;
+  }
+  const Cycle done = board.channel.Access(t, 1);
+  board.channel.ReportUseful(graph::kBytesPerRowRecord);
+  if (board.cache != nullptr) {
+    board.cache->Install(v, graph_->Degree(v));
+  }
+  return done;
+}
+
+void ClusterSim::Retire(size_t slot, Cycle at) {
+  Walker& w = walkers_[slot];
+  WalkerEnd end;
+  end.ticket = w.ticket;
+  end.at = at;
+  end.steps = w.state.step;
+  end.board = w.launch_board;
+  makespan_ = std::max(makespan_, at);
+  --inflight_[w.launch_board];
+  free_slots_.push(slot);
+  std::vector<VertexId> path = std::move(w.path);
+  w.path.clear();
+  if (on_retire_) {
+    on_retire_(end, std::move(path));
+  }
+}
+
+void ClusterSim::FailWalker(size_t slot, Cycle at, bool board_lost) {
+  Walker& w = walkers_[slot];
+  WalkerEnd end;
+  end.ticket = w.ticket;
+  end.at = at;
+  end.steps = w.state.step;
+  end.board = w.launch_board;
+  end.board_lost = board_lost;
+  end.data_fault = !board_lost;
+  makespan_ = std::max(makespan_, at);
+  --inflight_[w.launch_board];
+  free_slots_.push(slot);
+  std::vector<VertexId> path = std::move(w.path);
+  w.path.clear();
+  if (on_retire_) {
+    on_retire_(end, std::move(path));
+  }
+}
+
+// Rolls a walker back to its checkpoint and re-dispatches it on a
+// surviving board (its state on the old board — resident or in a lost
+// migration message — is gone). Without a checkpoint the walk is lost:
+// it retires truncated and is counted. Batch mode only; the service
+// layer gets the failure surfaced instead and owns the retry.
+void ClusterSim::Recover(size_t slot, Cycle at) {
+  Walker& w = walkers_[slot];
+  obs::TraceRecorder* trace = config_.board.trace;
+  const reliability::FaultConfig& faults = config_.board.faults;
+  if (!checkpointing_) {
+    ++recovery_rel_.walkers_lost;
+    ++recovery_rel_.walks_failed;
+    if (trace != nullptr && trace->accepting()) {
+      trace->Instant("walker_lost", "fault", w.board, kBoardNetTrack, at);
+    }
+    Retire(slot, at);
+    return;
+  }
+  recovery_rel_.replayed_steps += w.state.step - w.ckpt.state.step;
+  w.state = w.ckpt.state;
+  w.path.resize(w.ckpt.path_len);
+  w.rng = w.ckpt.rng;
+  w.aux = w.ckpt.aux;
+  w.phase = Phase::kInfo;
+  w.board = config_.replicate_graph ? SurvivorOf(w.ticket)
+                                    : LiveOwnerOf(w.state.curr, at);
+  const Cycle resume = at + faults.detection_latency_cycles +
+                       faults.recovery_cycles_per_walker;
+  recovery_rel_.recovery_cycles += resume - at;
+  ++recovery_rel_.walkers_recovered;
+  if (trace != nullptr && trace->accepting()) {
+    trace->Instant("walker_recovered", "fault", w.board, kBoardNetTrack,
+                   resume);
+  }
+  events_.emplace(resume, 0, slot);
+}
+
+void ClusterSim::Step(size_t slot, Cycle now) {
+  Walker& w = walkers_[slot];
+  obs::TraceRecorder* trace = config_.board.trace;
+  const reliability::FaultConfig& faults = config_.board.faults;
+
+  // Board failure: any event landing on the dead board after the failure
+  // cycle finds the walker's resident state gone.
+  if (IsDead(w.board, now)) {
+    if (!failure_observed_) {
+      failure_observed_ = true;
+      ++recovery_rel_.board_failures;
+      if (trace != nullptr && trace->accepting()) {
+        trace->Instant("board_failure", "fault", faults.fail_board,
+                       kBoardNetTrack, faults.fail_cycle);
+      }
+    }
+    if (surface_failures_) {
+      FailWalker(slot, now + faults.detection_latency_cycles,
+                 /*board_lost=*/true);
+    } else {
+      Recover(slot, now);
+    }
+    return;
+  }
+  Board& board = boards_[w.board];
+  const bool wants_prev = app_->needs_prev_neighbors() &&
+                          !w.opts.uniform_step &&
+                          w.state.prev != graph::kInvalidVertex;
+
+  if (w.phase == Phase::kInfo) {
+    if (w.state.step >= w.remaining) {
+      Retire(slot, now);
+      return;
+    }
+    Cycle t_info = LookupInfo(board, now, w.state.curr);
+    if (wants_prev) {
+      t_info = std::max(t_info, LookupInfo(board, now, w.state.prev));
+    }
+    if (board.channel.TakeAccessFailure()) {
+      // Uncorrectable ECC error on the row lookup: the walk cannot
+      // continue from corrupt state.
+      if (surface_failures_) {
+        FailWalker(slot, t_info, /*board_lost=*/false);
+      } else {
+        ++board.rel.walks_failed;
+        Retire(slot, t_info);
+      }
+      return;
+    }
+    if (graph_->Degree(w.state.curr) == 0) {
+      Retire(slot, t_info + config_.board.pipeline_depth_cycles);
+      return;
+    }
+    w.phase = Phase::kFetch;
+    events_.emplace(t_info, 0, slot);
+    return;
+  }
+
+  // Phase::kFetch: adjacency stream + sampling on the owner board.
+  const uint32_t degree = graph_->Degree(w.state.curr);
+  Cycle t_fetch = now;
+  if (wants_prev) {
+    const uint32_t prev_degree = graph_->Degree(w.state.prev);
+    if (prev_degree > config_.board.prev_neighbor_buffer_edges) {
+      t_fetch = board.burst.Fetch(
+          t_fetch, static_cast<uint64_t>(prev_degree) *
+                       graph::kBytesPerEdgeRecord);
+    }
+  }
+  const Cycle last_data = board.burst.Fetch(
+      t_fetch, static_cast<uint64_t>(degree) * graph::kBytesPerEdgeRecord);
+  const Cycle first_data =
+      t_fetch + config_.board.dram.access_latency_cycles;
+  const Cycle consume_start = std::max(first_data, board.sampler_busy);
+  // A degraded uniform pick consumes one sampler cycle; the weighted
+  // PWRS path streams the whole adjacency through the k lanes.
+  board.sampler_busy =
+      consume_start +
+      (w.opts.uniform_step
+           ? 1
+           : CeilDiv(degree, config_.board.sampler_parallelism));
+  const Cycle step_end = std::max(last_data, board.sampler_busy) +
+                         config_.board.pipeline_depth_cycles;
+
+  VertexId next;
+  if (w.opts.uniform_step) {
+    next = graph_->Neighbors(w.state.curr)[w.aux.NextBounded(degree)];
+  } else {
+    next = w.sampler->SampleNext(*graph_, *app_, w.state);
+  }
+  w.phase = Phase::kInfo;
+  if (board.channel.TakeAccessFailure()) {
+    // Uncorrectable ECC error in the adjacency stream: the sampled step
+    // is based on corrupt data, so the walk fails here.
+    if (surface_failures_) {
+      FailWalker(slot, step_end, /*board_lost=*/false);
+    } else {
+      ++board.rel.walks_failed;
+      Retire(slot, step_end);
+    }
+    return;
+  }
+  if (next == graph::kInvalidVertex) {
+    Retire(slot, step_end);
+    return;
+  }
+  w.state.prev = w.state.curr;
+  w.state.curr = next;
+  ++w.state.step;
+  ++total_steps_;
+  ++board.steps_served;
+  board.last_activity = std::max(board.last_activity, step_end);
+  w.path.push_back(next);
+  TakeCheckpoint(w, board, step_end);
+
+  const double stop_probability = app_->stop_probability();
+  const bool stopped =
+      stop_probability > 0.0 && w.aux.NextUnit() < stop_probability;
+  if (stopped || w.state.step >= w.remaining) {
+    Retire(slot, step_end);
+    return;
+  }
+
+  BoardId next_board =
+      config_.replicate_graph ? w.board : partition_->OwnerOf(next);
+  if (IsDead(next_board, step_end)) {
+    next_board = SurvivorOf(next);
+  }
+  if (next_board != w.board) {
+    // Ship the walker state to the owner of the next vertex; a lost
+    // message (retransmission budget exhausted) recovers the walker
+    // from its checkpoint (batch) or surfaces the loss (service).
+    const hwsim::LinkDelivery delivery =
+        board.link.SendReliable(step_end, config_.walker_message_bytes);
+    ++total_migrations_;
+    ++board.migrations_out;
+    if (!delivery.delivered) {
+      if (surface_failures_) {
+        FailWalker(slot, delivery.arrival, /*board_lost=*/true);
+      } else {
+        Recover(slot, delivery.arrival);
+      }
+      return;
+    }
+    w.board = next_board;
+    events_.emplace(delivery.arrival, 0, slot);
+  } else {
+    events_.emplace(step_end, 0, slot);
+  }
+}
+
+void ClusterSim::Drain() {
+  while (!events_.empty()) {
+    const auto [now, kind, id] = events_.top();
+    events_.pop();
+    if (kind == 0) {
+      Step(static_cast<size_t>(id), now);
+    } else if (on_wake_) {
+      on_wake_(id, now);
+    }
+  }
+}
+
+void ClusterSim::Finalize(DistributedRunStats* stats) {
+  LIGHTRW_CHECK(stats != nullptr);
+  obs::MetricsRegistry* metrics = config_.board.metrics;
+  stats->steps = total_steps_;
+  stats->migrations = total_migrations_;
+  stats->reliability.Accumulate(recovery_rel_);
+  for (BoardId b = 0; b < num_boards(); ++b) {
+    const Board& board = boards_[b];
+    stats->dram.requests += board.channel.stats().requests;
+    stats->dram.beats += board.channel.stats().beats;
+    stats->dram.bytes += board.channel.stats().bytes;
+    stats->dram.busy_cycles += board.channel.stats().busy_cycles;
+    stats->dram.useful_bytes += board.channel.stats().useful_bytes;
+    stats->network.messages += board.link.stats().messages;
+    stats->network.payload_bytes += board.link.stats().payload_bytes;
+    stats->network.busy_cycles += board.link.stats().busy_cycles;
+    stats->reliability.Accumulate(board.rel);
+    if (metrics != nullptr) {
+      // Per-partition load balance: one label set per board.
+      const obs::Labels labels = {{"board", std::to_string(b)}};
+      metrics->GetCounter("dist.board.steps", labels)
+          ->Increment(board.steps_served);
+      metrics->GetCounter("dist.board.migrations_out", labels)
+          ->Increment(board.migrations_out);
+      metrics->GetCounter("dist.board.dram_bytes", labels)
+          ->Increment(board.channel.stats().bytes);
+      metrics->GetCounter("dist.board.link_messages", labels)
+          ->Increment(board.link.stats().messages);
+      metrics->GetCounter("dist.board.link_bytes", labels)
+          ->Increment(board.link.stats().payload_bytes);
+      metrics->GetGauge("dist.board.busy_until_cycles", labels)
+          ->Set(static_cast<double>(board.last_activity));
+      reliability::PublishReliabilityMetrics(metrics, board.rel, labels);
+    }
+  }
+  if (metrics != nullptr) {
+    // Failover-logic events are cluster-level, not per-board.
+    reliability::PublishReliabilityMetrics(metrics, recovery_rel_,
+                                           {{"board", "cluster"}});
+  }
+  stats->cycles = makespan_;
+  stats->seconds =
+      static_cast<double>(makespan_) / config_.board.dram.clock_hz;
+  if (config_.replicate_graph) {
+    stats->per_board_graph_bytes = graph_->ModeledByteSize();
+  } else {
+    const auto counts = partition_->EdgeCounts(*graph_);
+    uint64_t max_edges = 0;
+    for (const uint64_t c : counts) {
+      max_edges = std::max(max_edges, c);
+    }
+    stats->per_board_graph_bytes =
+        max_edges * graph::kBytesPerEdgeRecord +
+        (graph_->num_vertices() + 1) * graph::kBytesPerRowRecord /
+            partition_->num_boards();
+  }
+}
+
+}  // namespace lightrw::distributed

@@ -1,0 +1,236 @@
+// Event-driven execution core of the distributed LightRW simulation.
+//
+// ClusterSim owns the per-board datapaths (DRAM channel, degree-aware
+// cache, dynamic burst engine, k-lane WRS timing, egress link, fault
+// streams) and the global discrete-event loop that interleaves walkers
+// across boards in simulated-cycle order. Two drivers sit on top of it:
+//
+//   DistributedEngine::Run  the closed batch workload (load a query set,
+//                           keep every walker slot busy until done)
+//   service::WalkService    the open-loop front end (admission queues,
+//                           deadlines, retries, degradation)
+//
+// The driver injects walkers with Launch() and receives them back through
+// the retire callback; ScheduleWake() lets it interleave its own control
+// events (arrivals, retry timers) with walker events on the same
+// simulated clock. Drain() is resumable: callbacks may launch further
+// work, and more may be injected between drains.
+//
+// Determinism: walk sampling and geometric stopping draw from per-walker
+// RNG streams seeded by (config seed, ticket), so a walker's path is a
+// pure function of its ticket — independent of dispatch order, board
+// placement, and the timing interleaving. That is what lets the service
+// layer retry a bounced query on another board (or replay it after a
+// board death) and obtain the same walk, and what makes a low-load
+// service run produce bit-identical walks to a batch run.
+
+#ifndef LIGHTRW_DISTRIBUTED_CLUSTER_SIM_H_
+#define LIGHTRW_DISTRIBUTED_CLUSTER_SIM_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <tuple>
+#include <vector>
+
+#include "apps/walk_app.h"
+#include "common/status.h"
+#include "distributed/partition.h"
+#include "graph/csr.h"
+#include "hwsim/link.h"
+#include "lightrw/burst_engine.h"
+#include "lightrw/config.h"
+#include "lightrw/step_sampler.h"
+#include "lightrw/vertex_cache.h"
+#include "reliability/fault_injector.h"
+#include "rng/rng.h"
+
+namespace lightrw::distributed {
+
+struct DistributedConfig {
+  // Per-board accelerator configuration. num_instances applies per board.
+  core::AcceleratorConfig board;
+  hwsim::LinkConfig link;
+  // Bytes of one walker-migration message (query id, current/previous
+  // vertex, step counter, residual length).
+  uint32_t walker_message_bytes = 32;
+  // Walkers resident per board before queueing.
+  uint32_t inflight_walkers_per_board = 64;
+  // Replicate the whole graph on every board (the single-board LightRW
+  // multi-instance design): walkers never migrate, but each board must
+  // hold the full CSR image. Partitioned mode (false) scales to graphs
+  // larger than one board's DRAM at the cost of network migrations.
+  bool replicate_graph = false;
+
+  // Fault injection (DRAM ECC, link loss, board failure) and the
+  // checkpoint/failover protocol are configured through `board.faults`
+  // (reliability::FaultConfig), shared with the per-board accelerator
+  // datapath so one schedule covers the whole stack.
+};
+
+struct DistributedRunStats {
+  uint64_t cycles = 0;   // makespan over all boards
+  double seconds = 0.0;
+  // Modeled DRAM bytes each board must hold (full image when replicated,
+  // the largest partition share otherwise).
+  uint64_t per_board_graph_bytes = 0;
+  uint64_t queries = 0;
+  uint64_t steps = 0;
+  uint64_t migrations = 0;  // walker hops between boards
+  double MigrationRatio() const {
+    return steps == 0 ? 0.0
+                      : static_cast<double>(migrations) /
+                            static_cast<double>(steps);
+  }
+  double StepsPerSecond() const {
+    return seconds > 0.0 ? static_cast<double>(steps) / seconds : 0.0;
+  }
+  // Summed over boards.
+  hwsim::DramStats dram;
+  hwsim::LinkStats network;
+  // Faults injected, retries, retransmissions, checkpoints, and
+  // recovered/lost walkers, summed over boards plus the failover logic.
+  reliability::ReliabilityStats reliability;
+};
+
+// Per-attempt execution options — the service layer's degradation knobs.
+// The defaults execute the query exactly as requested.
+struct WalkerOptions {
+  // Caps the walk at this many steps (0 = the query's requested length).
+  uint32_t max_steps = 0;
+  // Degrades weighted (PWRS) stepping to a uniform neighbor choice: the
+  // sampler consumes one cycle instead of ceil(degree / k), and Node2Vec
+  // walks skip the previous-vertex adjacency fetch. Best-effort quality
+  // under overload at a fraction of the per-step cost.
+  bool uniform_step = false;
+};
+
+// Terminal state of one walker attempt, handed to the retire callback.
+struct WalkerEnd {
+  uint64_t ticket = 0;      // caller's id from Launch()
+  hwsim::Cycle at = 0;      // retire cycle
+  uint32_t steps = 0;       // steps actually taken
+  BoardId board = 0;        // board charged for the walker (Launch board)
+  // Surfaced failures (surface_failures mode only; the batch driver
+  // recovers internally from checkpoints instead).
+  bool board_lost = false;  // board died / migration undeliverable
+  bool data_fault = false;  // uncorrectable ECC truncated the walk
+  bool Failed() const { return board_lost || data_fault; }
+};
+
+// Non-OK when the configured fault schedule cannot be satisfied on a
+// cluster of `num_boards` boards (fail_board out of range, or a failover
+// with no survivor to recover onto).
+Status CheckFailoverSatisfiable(const DistributedConfig& config,
+                                BoardId num_boards);
+
+class ClusterSim {
+ public:
+  using RetireFn = std::function<void(const WalkerEnd& end,
+                                      std::vector<graph::VertexId>&& path)>;
+  using WakeFn = std::function<void(uint64_t tag, hwsim::Cycle at)>;
+
+  // All referenced objects must outlive the sim. `max_walkers` bounds the
+  // number of concurrently in-flight walkers (Launch checks it); the
+  // configuration must already have passed ValidateDistributedConfig and
+  // CheckFailoverSatisfiable.
+  ClusterSim(const graph::CsrGraph* graph, const apps::WalkApp* app,
+             const Partition* partition, const DistributedConfig& config,
+             uint32_t max_walkers);
+  ~ClusterSim();
+  ClusterSim(const ClusterSim&) = delete;
+  ClusterSim& operator=(const ClusterSim&) = delete;
+
+  void set_on_retire(RetireFn fn) { on_retire_ = std::move(fn); }
+  void set_on_wake(WakeFn fn) { on_wake_ = std::move(fn); }
+  // Service mode: a walker caught by a board death, an undeliverable
+  // migration, or an uncorrectable data fault retires immediately with
+  // the failure surfaced in WalkerEnd (the caller owns the retry/shed
+  // decision) instead of being recovered internally from its checkpoint.
+  void set_surface_failures(bool v) { surface_failures_ = v; }
+
+  BoardId num_boards() const;
+  // True once the scheduled whole-board failure has passed for `b`.
+  bool IsDead(BoardId b, hwsim::Cycle t) const;
+  // Owner of `v` at time `t`: the partition owner, except that a dead
+  // board's share is served by surviving boards after the failure.
+  BoardId LiveOwnerOf(graph::VertexId v, hwsim::Cycle t) const;
+  // Deterministic survivor choice for re-routing dead-board load.
+  BoardId SurvivorOf(uint64_t salt) const;
+
+  // Walkers currently charged against board `b` (counted on the Launch
+  // board for the walker's whole life, even as it migrates): the queue
+  // occupancy signal the service's admission control keys on.
+  uint32_t InflightOn(BoardId b) const;
+  uint32_t free_slots() const;
+
+  // Injects a walker executing `query` starting on `board` at cycle
+  // `at`. Requires a free slot. The ticket seeds the walker's private
+  // RNG streams and is echoed in WalkerEnd.
+  void Launch(uint64_t ticket, const apps::WalkQuery& query, BoardId board,
+              hwsim::Cycle at, const WalkerOptions& options = {});
+  // Schedules an on_wake(tag, at) callback at cycle `at`.
+  void ScheduleWake(uint64_t tag, hwsim::Cycle at);
+
+  // Processes events in simulated-cycle order until none remain.
+  // Callbacks may Launch new walkers and schedule further wakes;
+  // resumable (more work may be injected afterwards and Drain() rerun).
+  void Drain();
+
+  hwsim::Cycle makespan() const { return makespan_; }
+  uint64_t total_steps() const { return total_steps_; }
+
+  // Sums per-board datapath stats (plus cluster-level recovery events)
+  // into `stats`, fills cycles/seconds/per_board_graph_bytes, and
+  // publishes per-board metrics. Call once, after the final Drain().
+  void Finalize(DistributedRunStats* stats);
+
+ private:
+  struct Board;
+  struct Walker;
+
+  // Heap events: (cycle, kind, id) — kind 0 walker slot, kind 1 wake
+  // tag. The tuple order is the deterministic tie-break.
+  using Event = std::tuple<hwsim::Cycle, int, uint64_t>;
+
+  void Step(size_t slot, hwsim::Cycle now);
+  void Retire(size_t slot, hwsim::Cycle at);
+  void FailWalker(size_t slot, hwsim::Cycle at, bool board_lost);
+  void Recover(size_t slot, hwsim::Cycle at);
+  void TakeCheckpoint(Walker& w, Board& board, hwsim::Cycle at);
+  hwsim::Cycle LookupInfo(Board& board, hwsim::Cycle t, graph::VertexId v);
+
+  const graph::CsrGraph* graph_;
+  const apps::WalkApp* app_;
+  const Partition* partition_;
+  DistributedConfig config_;
+  bool surface_failures_ = false;
+
+  std::vector<Board> boards_;
+  std::vector<Walker> walkers_;
+  std::vector<uint32_t> inflight_;  // per Launch board
+  // Free walker slots, allocated lowest-index first for determinism.
+  std::priority_queue<size_t, std::vector<size_t>, std::greater<>>
+      free_slots_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+
+  RetireFn on_retire_;
+  WakeFn on_wake_;
+
+  bool failure_scheduled_ = false;
+  bool failure_observed_ = false;
+  bool checkpointing_ = false;
+  uint64_t ckpt_interval_ = 0;
+  // Recovery-side events (board failure, lost walkers) that belong to
+  // the failover logic rather than any one board's datapath.
+  reliability::ReliabilityStats recovery_rel_;
+
+  hwsim::Cycle makespan_ = 0;
+  uint64_t total_steps_ = 0;
+  uint64_t total_migrations_ = 0;
+};
+
+}  // namespace lightrw::distributed
+
+#endif  // LIGHTRW_DISTRIBUTED_CLUSTER_SIM_H_

@@ -1,85 +1,13 @@
 #include "distributed/dist_engine.h"
 
 #include <algorithm>
-#include <deque>
-#include <memory>
-#include <queue>
 #include <utility>
 #include <vector>
 
-#include "common/bits.h"
 #include "common/check.h"
 #include "distributed/config_validation.h"
-#include "lightrw/burst_engine.h"
-#include "lightrw/step_sampler.h"
-#include "lightrw/vertex_cache.h"
-#include "obs/metrics.h"
-#include "obs/trace.h"
-#include "rng/rng.h"
 
 namespace lightrw::distributed {
-
-namespace {
-
-using apps::WalkState;
-using graph::VertexId;
-using hwsim::Cycle;
-
-// Trace track (tid) layout within one board's pid.
-enum BoardTrack : uint32_t {
-  kBoardDramTrack = 0,
-  kBoardNetTrack = 1,
-};
-
-// Per-board datapath: one LightRW accelerator channel plus an egress link.
-struct Board {
-  Board(const core::AcceleratorConfig& config,
-        const hwsim::LinkConfig& link_config, uint64_t seed)
-      : channel(config.dram),
-        burst(&channel, config.burst),
-        cache(core::MakeVertexCache(config.cache_kind, config.cache_entries)),
-        rng(config.sampler_parallelism, seed),
-        sampler(config.sampler_parallelism, &rng),
-        link(link_config) {}
-
-  hwsim::DramChannel channel;
-  core::DynamicBurstEngine burst;
-  std::unique_ptr<core::VertexCache> cache;
-  rng::ThunderingRng rng;
-  core::StepSampler sampler;
-  hwsim::NetworkLink link;
-  hwsim::Cycle sampler_busy = 0;  // the k-wide sampler unit is shared
-  uint64_t steps_served = 0;      // steps executed on this board
-  uint64_t migrations_out = 0;    // walkers shipped off this board
-  hwsim::Cycle last_activity = 0; // latest step completion on this board
-  // Deterministic fault schedules (one stream per fault domain) and the
-  // counters their events land in.
-  reliability::FaultStream dram_faults;
-  reliability::FaultStream link_faults;
-  reliability::ReliabilityStats rel;
-};
-
-enum class Phase { kInfo, kFetch };
-
-// Periodic walker-state snapshot: everything failover needs to resume the
-// walk from the checkpointed step on another board.
-struct Checkpoint {
-  WalkState state;
-  uint32_t path_len = 1;
-  uint64_t epoch = 0;  // checkpoint interval index of the snapshot
-};
-
-struct Walker {
-  WalkState state;
-  uint32_t remaining = 0;
-  size_t query_index = 0;
-  BoardId board = 0;
-  Phase phase = Phase::kInfo;
-  std::vector<VertexId> path;
-  Checkpoint ckpt;
-};
-
-}  // namespace
 
 DistributedEngine::DistributedEngine(const graph::CsrGraph* graph,
                                      const apps::WalkApp* app,
@@ -96,373 +24,54 @@ StatusOr<DistributedRunStats> DistributedEngine::Run(
     std::span<const apps::WalkQuery> queries,
     baseline::WalkOutput* output) {
   LIGHTRW_RETURN_IF_ERROR(ValidateDistributedConfig(config_));
-  DistributedRunStats stats;
   const BoardId num_boards = partition_->num_boards();
-  const reliability::FaultConfig& faults = config_.board.faults;
-  const bool failure_scheduled = faults.enabled && faults.fail_cycle > 0;
-  if (failure_scheduled) {
-    if (faults.fail_board >= num_boards) {
-      return InvalidArgumentError(
-          "faults.fail_board " + std::to_string(faults.fail_board) +
-          " out of range for " + std::to_string(num_boards) + " board(s)");
-    }
-    if (num_boards < 2) {
-      return FailedPreconditionError(
-          "board failover needs at least 2 boards (no survivor to recover "
-          "onto)");
-    }
-  }
-  // Checkpoints are taken whenever a fault source could force a recovery.
-  const bool recovery_possible =
-      failure_scheduled ||
-      (faults.enabled &&
-       (faults.link_drop_rate > 0.0 || faults.link_corrupt_rate > 0.0));
-  const bool checkpointing =
-      recovery_possible && faults.checkpoint_interval_cycles > 0;
-  const uint64_t ckpt_interval =
-      checkpointing ? faults.checkpoint_interval_cycles : 0;
-  // Recovery-side events (board failure, lost walkers) that belong to the
-  // failover logic rather than any one board's datapath.
-  reliability::ReliabilityStats recovery_rel;
+  LIGHTRW_RETURN_IF_ERROR(CheckFailoverSatisfiable(config_, num_boards));
 
-  obs::TraceRecorder* trace = config_.board.trace;
-  std::vector<Board> boards;
-  boards.reserve(num_boards);
-  for (BoardId b = 0; b < num_boards; ++b) {
-    boards.emplace_back(config_.board, config_.link,
-                        config_.board.seed + 0x51aab5ULL * (b + 1));
-  }
-  for (BoardId b = 0; b < num_boards; ++b) {
-    Board& board = boards[b];
-    if (faults.enabled) {
-      board.dram_faults = reliability::FaultStream(faults, b);
-      board.link_faults =
-          reliability::FaultStream(faults, 0x10000ULL + b);
-      board.channel.AttachFaults(&board.dram_faults, &board.rel);
-      board.link.AttachFaults(&board.link_faults, &board.rel);
-    }
-    if (trace != nullptr) {
-      trace->NameProcess(b, "board " + std::to_string(b));
-      trace->NameTrack(b, kBoardDramTrack, "dram channel");
-      trace->NameTrack(b, kBoardNetTrack, "network / faults");
-      board.channel.AttachTrace(trace, b, kBoardDramTrack);
-    }
-  }
-  rng::Xoshiro256StarStar stop_gen(config_.board.seed ^ 0x5709ULL);
-  const double stop_probability = app_->stop_probability();
-
-  // A board is dead once the scheduled failure cycle has passed.
-  auto is_dead = [&](BoardId b, Cycle t) {
-    return failure_scheduled && b == faults.fail_board &&
-           t >= faults.fail_cycle;
-  };
-  // Deterministic re-assignment of the dead board's load to a survivor,
-  // keyed on a stable salt (vertex id or query index).
-  auto survivor_of = [&](uint64_t salt) -> BoardId {
-    const BoardId survivors = static_cast<BoardId>(num_boards - 1);
-    const BoardId idx = static_cast<BoardId>(salt % survivors);
-    return idx >= faults.fail_board ? static_cast<BoardId>(idx + 1) : idx;
-  };
-  // Owner of vertex `v` at time `t`: the partition owner, except that the
-  // dead board's share is served by surviving boards after the failure
-  // (replicas in replicate_graph mode, partition re-assignment otherwise).
-  auto live_owner = [&](VertexId v, Cycle t) -> BoardId {
-    const BoardId owner = partition_->OwnerOf(v);
-    return is_dead(owner, t) ? survivor_of(v) : owner;
-  };
-
-  // Row lookup through a board's cache (same policy as the single-board
-  // engine's LookupNeighborInfo).
-  auto lookup_info = [&](Board& board, Cycle t, VertexId v) {
-    if (board.cache != nullptr && board.cache->Probe(v)) {
-      return t + 1;
-    }
-    const Cycle done = board.channel.Access(t, 1);
-    board.channel.ReportUseful(graph::kBytesPerRowRecord);
-    if (board.cache != nullptr) {
-      board.cache->Install(v, graph_->Degree(v));
-    }
-    return done;
-  };
-
+  DistributedRunStats stats;
   const size_t max_inflight =
       static_cast<size_t>(num_boards) * config_.inflight_walkers_per_board;
-  std::vector<Walker> walkers(std::min(max_inflight, queries.size()));
-  std::vector<std::vector<VertexId>> finished;
+  const size_t num_walkers = std::min(max_inflight, queries.size());
+  ClusterSim sim(graph_, app_, partition_, config_,
+                 static_cast<uint32_t>(num_walkers));
+
+  std::vector<std::vector<graph::VertexId>> finished;
   if (output != nullptr) {
     finished.resize(queries.size());
   }
 
-  using HeapItem = std::pair<Cycle, size_t>;  // (time, walker slot)
-  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
   size_t next_query = 0;
-  Cycle makespan = 0;
-  bool failure_observed = false;
-
-  auto take_checkpoint = [&](Walker& w, Board& board, Cycle at) {
-    if (!checkpointing) {
-      return;
-    }
-    const uint64_t epoch = at / ckpt_interval;
-    if (epoch > w.ckpt.epoch) {
-      w.ckpt.state = w.state;
-      w.ckpt.path_len = static_cast<uint32_t>(w.path.size());
-      w.ckpt.epoch = epoch;
-      ++board.rel.checkpoints;
-    }
-  };
-
-  auto load = [&](size_t slot, Cycle at) {
+  auto load = [&](hwsim::Cycle at) {
     if (next_query >= queries.size()) {
       return;
     }
-    Walker& w = walkers[slot];
-    const apps::WalkQuery& q = queries[next_query];
-    w.state = WalkState{};
-    w.state.curr = q.start;
-    w.remaining = q.length;
-    w.query_index = next_query++;
+    const size_t qi = next_query++;
+    const apps::WalkQuery& q = queries[qi];
     // Replicated mode keeps a walker on its initial board for its whole
     // life (any board can serve any vertex).
-    w.board = config_.replicate_graph
-                  ? static_cast<BoardId>(w.query_index % num_boards)
-                  : partition_->OwnerOf(q.start);
-    if (is_dead(w.board, at)) {
-      w.board = survivor_of(config_.replicate_graph ? w.query_index
-                                                    : q.start);
+    BoardId board = config_.replicate_graph
+                        ? static_cast<BoardId>(qi % num_boards)
+                        : partition_->OwnerOf(q.start);
+    if (sim.IsDead(board, at)) {
+      board = sim.SurvivorOf(config_.replicate_graph ? qi : q.start);
     }
-    w.phase = Phase::kInfo;
-    w.path.clear();
-    w.path.push_back(q.start);
-    // Dispatch checkpoint: a walker can always be recovered to its start.
-    w.ckpt.state = w.state;
-    w.ckpt.path_len = 1;
-    w.ckpt.epoch = checkpointing ? at / ckpt_interval : 0;
-    heap.emplace(at, slot);
+    sim.Launch(qi, q, board, at);
   };
 
-  auto retire = [&](size_t slot, Cycle at) {
-    Walker& w = walkers[slot];
+  sim.set_on_retire([&](const WalkerEnd& end,
+                        std::vector<graph::VertexId>&& path) {
     if (output != nullptr) {
-      finished[w.query_index] = std::move(w.path);
+      finished[end.ticket] = std::move(path);
     }
     ++stats.queries;
-    makespan = std::max(makespan, at);
-    load(slot, at);
-  };
+    // Keep the freed slot busy: the batch workload is closed-loop.
+    load(end.at);
+  });
 
-  // Rolls a walker back to its checkpoint and re-dispatches it on a
-  // surviving board (its state on the old board — resident or in a lost
-  // migration message — is gone). Without a checkpoint the walk is lost:
-  // it retires truncated and is counted.
-  auto recover = [&](size_t slot, Cycle at) {
-    Walker& w = walkers[slot];
-    if (!checkpointing) {
-      ++recovery_rel.walkers_lost;
-      ++recovery_rel.walks_failed;
-      if (trace != nullptr && trace->accepting()) {
-        trace->Instant("walker_lost", "fault", w.board, kBoardNetTrack, at);
-      }
-      retire(slot, at);
-      return;
-    }
-    recovery_rel.replayed_steps += w.state.step - w.ckpt.state.step;
-    w.state = w.ckpt.state;
-    w.path.resize(w.ckpt.path_len);
-    w.phase = Phase::kInfo;
-    w.board = config_.replicate_graph ? survivor_of(w.query_index)
-                                      : live_owner(w.state.curr, at);
-    const Cycle resume = at + faults.detection_latency_cycles +
-                         faults.recovery_cycles_per_walker;
-    recovery_rel.recovery_cycles += resume - at;
-    ++recovery_rel.walkers_recovered;
-    if (trace != nullptr && trace->accepting()) {
-      trace->Instant("walker_recovered", "fault", w.board, kBoardNetTrack,
-                     resume);
-    }
-    heap.emplace(resume, slot);
-  };
-
-  for (size_t i = 0; i < walkers.size(); ++i) {
-    load(i, 0);
+  for (size_t i = 0; i < num_walkers; ++i) {
+    load(0);
   }
-
-  while (!heap.empty()) {
-    const auto [now, slot] = heap.top();
-    heap.pop();
-    Walker& w = walkers[slot];
-
-    // Board failure: any event landing on the dead board after the
-    // failure cycle finds the walker's resident state gone and triggers
-    // checkpoint recovery.
-    if (is_dead(w.board, now)) {
-      if (!failure_observed) {
-        failure_observed = true;
-        ++recovery_rel.board_failures;
-        if (trace != nullptr && trace->accepting()) {
-          trace->Instant("board_failure", "fault", faults.fail_board,
-                         kBoardNetTrack, faults.fail_cycle);
-        }
-      }
-      recover(slot, now);
-      continue;
-    }
-    Board& board = boards[w.board];
-
-    if (w.phase == Phase::kInfo) {
-      if (w.state.step >= w.remaining) {
-        retire(slot, now);
-        continue;
-      }
-      Cycle t_info = lookup_info(board, now, w.state.curr);
-      if (app_->needs_prev_neighbors() &&
-          w.state.prev != graph::kInvalidVertex) {
-        t_info = std::max(t_info, lookup_info(board, now, w.state.prev));
-      }
-      if (board.channel.TakeAccessFailure()) {
-        // Uncorrectable ECC error on the row lookup: the walk cannot
-        // continue from corrupt state.
-        ++board.rel.walks_failed;
-        retire(slot, t_info);
-        continue;
-      }
-      if (graph_->Degree(w.state.curr) == 0) {
-        retire(slot, t_info + config_.board.pipeline_depth_cycles);
-        continue;
-      }
-      w.phase = Phase::kFetch;
-      heap.emplace(t_info, slot);
-      continue;
-    }
-
-    // Phase::kFetch: adjacency stream + sampling on the owner board.
-    const uint32_t degree = graph_->Degree(w.state.curr);
-    Cycle t_fetch = now;
-    if (app_->needs_prev_neighbors() &&
-        w.state.prev != graph::kInvalidVertex) {
-      const uint32_t prev_degree = graph_->Degree(w.state.prev);
-      if (prev_degree > config_.board.prev_neighbor_buffer_edges) {
-        t_fetch = board.burst.Fetch(
-            t_fetch, static_cast<uint64_t>(prev_degree) *
-                         graph::kBytesPerEdgeRecord);
-      }
-    }
-    const Cycle last_data = board.burst.Fetch(
-        t_fetch, static_cast<uint64_t>(degree) * graph::kBytesPerEdgeRecord);
-    const Cycle first_data =
-        t_fetch + config_.board.dram.access_latency_cycles;
-    const Cycle consume_start = std::max(first_data, board.sampler_busy);
-    board.sampler_busy =
-        consume_start + CeilDiv(degree, config_.board.sampler_parallelism);
-    const Cycle step_end = std::max(last_data, board.sampler_busy) +
-                           config_.board.pipeline_depth_cycles;
-
-    const VertexId next = board.sampler.SampleNext(*graph_, *app_, w.state);
-    w.phase = Phase::kInfo;
-    if (board.channel.TakeAccessFailure()) {
-      // Uncorrectable ECC error in the adjacency stream: the sampled step
-      // is based on corrupt data, so the walk fails here.
-      ++board.rel.walks_failed;
-      retire(slot, step_end);
-      continue;
-    }
-    if (next == graph::kInvalidVertex) {
-      retire(slot, step_end);
-      continue;
-    }
-    w.state.prev = w.state.curr;
-    w.state.curr = next;
-    ++w.state.step;
-    ++stats.steps;
-    ++board.steps_served;
-    board.last_activity = std::max(board.last_activity, step_end);
-    w.path.push_back(next);
-    take_checkpoint(w, board, step_end);
-
-    const bool stopped =
-        stop_probability > 0.0 && stop_gen.NextUnit() < stop_probability;
-    if (stopped || w.state.step >= w.remaining) {
-      retire(slot, step_end);
-      continue;
-    }
-
-    BoardId next_board = config_.replicate_graph
-                             ? w.board
-                             : partition_->OwnerOf(next);
-    if (is_dead(next_board, step_end)) {
-      next_board = survivor_of(next);
-    }
-    if (next_board != w.board) {
-      // Ship the walker state to the owner of the next vertex; a lost
-      // message (retransmission budget exhausted) recovers the walker
-      // from its checkpoint.
-      const hwsim::LinkDelivery delivery =
-          board.link.SendReliable(step_end, config_.walker_message_bytes);
-      ++stats.migrations;
-      ++board.migrations_out;
-      if (!delivery.delivered) {
-        recover(slot, delivery.arrival);
-        continue;
-      }
-      w.board = next_board;
-      heap.emplace(delivery.arrival, slot);
-    } else {
-      heap.emplace(step_end, slot);
-    }
-  }
-
-  obs::MetricsRegistry* metrics = config_.board.metrics;
-  stats.reliability.Accumulate(recovery_rel);
-  for (BoardId b = 0; b < num_boards; ++b) {
-    const Board& board = boards[b];
-    stats.dram.requests += board.channel.stats().requests;
-    stats.dram.beats += board.channel.stats().beats;
-    stats.dram.bytes += board.channel.stats().bytes;
-    stats.dram.busy_cycles += board.channel.stats().busy_cycles;
-    stats.dram.useful_bytes += board.channel.stats().useful_bytes;
-    stats.network.messages += board.link.stats().messages;
-    stats.network.payload_bytes += board.link.stats().payload_bytes;
-    stats.network.busy_cycles += board.link.stats().busy_cycles;
-    stats.reliability.Accumulate(board.rel);
-    if (metrics != nullptr) {
-      // Per-partition load balance: one label set per board.
-      const obs::Labels labels = {{"board", std::to_string(b)}};
-      metrics->GetCounter("dist.board.steps", labels)
-          ->Increment(board.steps_served);
-      metrics->GetCounter("dist.board.migrations_out", labels)
-          ->Increment(board.migrations_out);
-      metrics->GetCounter("dist.board.dram_bytes", labels)
-          ->Increment(board.channel.stats().bytes);
-      metrics->GetCounter("dist.board.link_messages", labels)
-          ->Increment(board.link.stats().messages);
-      metrics->GetCounter("dist.board.link_bytes", labels)
-          ->Increment(board.link.stats().payload_bytes);
-      metrics->GetGauge("dist.board.busy_until_cycles", labels)
-          ->Set(static_cast<double>(board.last_activity));
-      reliability::PublishReliabilityMetrics(metrics, board.rel, labels);
-    }
-  }
-  if (metrics != nullptr) {
-    // Failover-logic events are cluster-level, not per-board.
-    reliability::PublishReliabilityMetrics(metrics, recovery_rel,
-                                           {{"board", "cluster"}});
-  }
-  stats.cycles = makespan;
-  stats.seconds =
-      static_cast<double>(makespan) / config_.board.dram.clock_hz;
-  if (config_.replicate_graph) {
-    stats.per_board_graph_bytes = graph_->ModeledByteSize();
-  } else {
-    const auto counts = partition_->EdgeCounts(*graph_);
-    uint64_t max_edges = 0;
-    for (const uint64_t c : counts) {
-      max_edges = std::max(max_edges, c);
-    }
-    stats.per_board_graph_bytes =
-        max_edges * graph::kBytesPerEdgeRecord +
-        (graph_->num_vertices() + 1) * graph::kBytesPerRowRecord /
-            partition_->num_boards();
-  }
+  sim.Drain();
+  sim.Finalize(&stats);
 
   if (output != nullptr) {
     for (auto& path : finished) {

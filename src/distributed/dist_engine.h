@@ -4,73 +4,23 @@
 // step on the board owning its current vertex; stepping onto a remote
 // vertex ships the walker state over the owner's egress link.
 //
-// The per-board datapath reuses the single-board models (DRAM channel,
-// degree-aware cache, dynamic burst engine, k-lane WRS timing); the
-// network uses hwsim::NetworkLink. Walks are sampled functionally with
-// the same semantics as the single-board engines.
+// DistributedEngine is the closed batch driver over ClusterSim (see
+// cluster_sim.h for the event-driven core): it keeps every walker slot
+// busy until the query set is exhausted. The open-loop, deadline-aware
+// front end lives in service::WalkService.
 
 #ifndef LIGHTRW_DISTRIBUTED_DIST_ENGINE_H_
 #define LIGHTRW_DISTRIBUTED_DIST_ENGINE_H_
 
-#include <cstdint>
 #include <span>
 
 #include "apps/walk_app.h"
 #include "baseline/engine.h"
 #include "common/status.h"
+#include "distributed/cluster_sim.h"
 #include "distributed/partition.h"
-#include "hwsim/link.h"
-#include "lightrw/config.h"
-#include "lightrw/cycle_engine.h"
-#include "reliability/fault_injector.h"
 
 namespace lightrw::distributed {
-
-struct DistributedConfig {
-  // Per-board accelerator configuration. num_instances applies per board.
-  core::AcceleratorConfig board;
-  hwsim::LinkConfig link;
-  // Bytes of one walker-migration message (query id, current/previous
-  // vertex, step counter, residual length).
-  uint32_t walker_message_bytes = 32;
-  // Walkers resident per board before queueing.
-  uint32_t inflight_walkers_per_board = 64;
-  // Replicate the whole graph on every board (the single-board LightRW
-  // multi-instance design): walkers never migrate, but each board must
-  // hold the full CSR image. Partitioned mode (false) scales to graphs
-  // larger than one board's DRAM at the cost of network migrations.
-  bool replicate_graph = false;
-
-  // Fault injection (DRAM ECC, link loss, board failure) and the
-  // checkpoint/failover protocol are configured through `board.faults`
-  // (reliability::FaultConfig), shared with the per-board accelerator
-  // datapath so one schedule covers the whole stack.
-};
-
-struct DistributedRunStats {
-  uint64_t cycles = 0;   // makespan over all boards
-  double seconds = 0.0;
-  // Modeled DRAM bytes each board must hold (full image when replicated,
-  // the largest partition share otherwise).
-  uint64_t per_board_graph_bytes = 0;
-  uint64_t queries = 0;
-  uint64_t steps = 0;
-  uint64_t migrations = 0;  // walker hops between boards
-  double MigrationRatio() const {
-    return steps == 0 ? 0.0
-                      : static_cast<double>(migrations) /
-                            static_cast<double>(steps);
-  }
-  double StepsPerSecond() const {
-    return seconds > 0.0 ? static_cast<double>(steps) / seconds : 0.0;
-  }
-  // Summed over boards.
-  hwsim::DramStats dram;
-  hwsim::LinkStats network;
-  // Faults injected, retries, retransmissions, checkpoints, and
-  // recovered/lost walkers, summed over boards plus the failover logic.
-  reliability::ReliabilityStats reliability;
-};
 
 // Simulates `partition.num_boards()` boards executing the query set.
 class DistributedEngine {

@@ -23,6 +23,34 @@ void Appendf(std::string* out, const char* format, ...) {
 
 }  // namespace
 
+std::string FormatSloSection(const SloSummary& slo) {
+  std::string out;
+  Appendf(&out,
+          "slo: %llu offered, %llu completed, %llu shed, %llu failed\n",
+          static_cast<unsigned long long>(slo.offered),
+          static_cast<unsigned long long>(slo.completed),
+          static_cast<unsigned long long>(slo.shed),
+          static_cast<unsigned long long>(slo.failed));
+  Appendf(&out,
+          "  goodput %.1f queries/s, shed rate %.2f%%, deadline "
+          "violation rate %.2f%% (%llu late)\n",
+          slo.goodput_per_s, 100.0 * slo.shed_rate,
+          100.0 * slo.violation_rate,
+          static_cast<unsigned long long>(slo.deadline_violations));
+  Appendf(&out,
+          "  queue delay p50/p99: %.0f / %.0f cycles, latency p50/p99: "
+          "%.0f / %.0f cycles\n",
+          slo.queue_delay_p50, slo.queue_delay_p99, slo.latency_p50,
+          slo.latency_p99);
+  Appendf(&out,
+          "  overload response: %llu degraded, %llu breaker trip(s), "
+          "%llu retry(ies)\n",
+          static_cast<unsigned long long>(slo.degraded),
+          static_cast<unsigned long long>(slo.breaker_trips),
+          static_cast<unsigned long long>(slo.retries));
+  return out;
+}
+
 std::string FormatRunReport(const RunReportInputs& inputs) {
   LIGHTRW_CHECK(inputs.graph != nullptr);
   LIGHTRW_CHECK(inputs.config != nullptr);
@@ -132,6 +160,12 @@ std::string FormatRunReport(const RunReportInputs& inputs) {
               static_cast<unsigned long long>(rel.walkers_lost),
               static_cast<unsigned long long>(rel.replayed_steps));
     }
+  }
+
+  // Service-level objectives: only for service runs — a batch run's
+  // report is byte-identical to one without the service layer.
+  if (inputs.slo != nullptr && inputs.slo->Any()) {
+    out += FormatSloSection(*inputs.slo);
   }
 
   // Platform models.

@@ -1,0 +1,63 @@
+// Modeled open-loop arrival streams for the walk service.
+//
+// The service front end is driven by queries arriving on the simulated
+// clock, not by a closed batch: a seeded Poisson process (exponential
+// inter-arrival gaps) optionally modulated by an on/off burst phase
+// yields a deterministic, reproducible trace of (arrival cycle, start
+// vertex, deadline, best-effort flag) tuples. Same config ⇒ byte-equal
+// stream, which is what makes the service's admit/shed/degrade decisions
+// golden-testable.
+
+#ifndef LIGHTRW_SERVICE_ARRIVAL_H_
+#define LIGHTRW_SERVICE_ARRIVAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/walk_app.h"
+#include "common/status.h"
+#include "graph/csr.h"
+#include "hwsim/dram.h"
+
+namespace lightrw::service {
+
+struct ArrivalConfig {
+  uint64_t seed = 7;
+  uint64_t num_queries = 1024;
+  uint32_t walk_length = 80;
+  // Mean arrival rate in queries per 1024 cycles (the open-loop offered
+  // load; the service does not wait for completions before admitting).
+  double rate_per_kcycle = 1.0;
+  // On/off burst modulation: during the first `burst_on_cycles` of every
+  // (on + off) period the rate is multiplied by `burst_factor`. Both
+  // cycle counts 0 disables modulation.
+  double burst_factor = 1.0;
+  uint64_t burst_on_cycles = 0;
+  uint64_t burst_off_cycles = 0;
+  // Relative completion deadline attached to every query (0 = none).
+  uint64_t deadline_cycles = 0;
+  // Fraction of queries marked best-effort, i.e. eligible for graceful
+  // degradation (shortened / uniform stepping) under overload.
+  double best_effort_fraction = 1.0;
+};
+
+// One query of the arrival trace.
+struct ServiceQuery {
+  apps::WalkQuery query;
+  hwsim::Cycle arrival = 0;
+  hwsim::Cycle deadline = 0;  // absolute cycle; 0 = no deadline
+  bool best_effort = false;
+};
+
+// Non-OK for out-of-range fields (each named in the message).
+Status ValidateArrivalConfig(const ArrivalConfig& config);
+
+// Generates the deterministic arrival trace (sorted by arrival cycle by
+// construction). Start vertices are drawn uniformly over the graph's
+// non-isolated vertices; fails if the graph has none.
+StatusOr<std::vector<ServiceQuery>> GenerateArrivals(
+    const ArrivalConfig& config, const graph::CsrGraph& graph);
+
+}  // namespace lightrw::service
+
+#endif  // LIGHTRW_SERVICE_ARRIVAL_H_

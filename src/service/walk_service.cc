@@ -1,0 +1,505 @@
+#include "service/walk_service.h"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+#include "distributed/config_validation.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace lightrw::service {
+
+namespace {
+
+using distributed::BoardId;
+using distributed::ClusterSim;
+using distributed::WalkerEnd;
+using distributed::WalkerOptions;
+using graph::VertexId;
+using hwsim::Cycle;
+
+// Wake-tag encoding: kind in the top byte, payload below. Tag order is
+// the deterministic tie-break among wakes at the same cycle (arrivals,
+// then retries, then breaker cooldowns).
+constexpr uint64_t kTagKindShift = 56;
+constexpr uint64_t kArrivalKind = 0;
+constexpr uint64_t kRetryKind = 1;
+constexpr uint64_t kBreakerKind = 2;
+constexpr uint64_t kTagPayloadMask = (1ULL << kTagKindShift) - 1;
+
+uint64_t MakeTag(uint64_t kind, uint64_t payload) {
+  return (kind << kTagKindShift) | payload;
+}
+
+// Trace track for service events, below each board's dram (0) and
+// network (1) tracks named by ClusterSim.
+constexpr uint32_t kServiceTrack = 2;
+
+// Why a query could not be served right now — maps to the shed reason
+// once the retry budget is exhausted.
+enum class Reject { kQueueFull, kBreakerOpen, kWalkFailure };
+
+enum class BreakerState : uint8_t { kClosed, kOpen, kHalfOpen };
+
+}  // namespace
+
+Status ValidateServiceConfig(const ServiceConfig& config) {
+  LIGHTRW_RETURN_IF_ERROR(
+      distributed::ValidateDistributedConfig(config.cluster));
+  LIGHTRW_RETURN_IF_ERROR(ValidateArrivalConfig(config.arrivals));
+  if (config.queue_capacity == 0) {
+    return InvalidArgumentError("service.queue_capacity must be > 0");
+  }
+  if (config.retry_budget > 0 && config.retry_backoff_cycles == 0) {
+    return InvalidArgumentError(
+        "service.retry_backoff_cycles must be > 0 when retries are "
+        "enabled");
+  }
+  if (config.breaker_failure_threshold == 0) {
+    return InvalidArgumentError(
+        "service.breaker_failure_threshold must be > 0");
+  }
+  if (config.breaker_cooldown_cycles == 0) {
+    return InvalidArgumentError(
+        "service.breaker_cooldown_cycles must be > 0");
+  }
+  if (!(config.degrade_shorten_occupancy > 0.0) ||
+      config.degrade_shorten_occupancy > 1.0) {
+    return InvalidArgumentError(
+        "service.degrade_shorten_occupancy must be within (0, 1]");
+  }
+  if (!(config.degrade_uniform_occupancy > 0.0) ||
+      config.degrade_uniform_occupancy > 1.0) {
+    return InvalidArgumentError(
+        "service.degrade_uniform_occupancy must be within (0, 1]");
+  }
+  if (config.degrade_uniform_occupancy < config.degrade_shorten_occupancy) {
+    return InvalidArgumentError(
+        "service.degrade_uniform_occupancy must be >= "
+        "degrade_shorten_occupancy (uniform is the stronger tier)");
+  }
+  if (!(config.degrade_shorten_factor > 0.0) ||
+      config.degrade_shorten_factor > 1.0) {
+    return InvalidArgumentError(
+        "service.degrade_shorten_factor must be within (0, 1]");
+  }
+  return Status::Ok();
+}
+
+core::SloSummary ServiceRunStats::Slo() const {
+  core::SloSummary s;
+  s.offered = offered;
+  s.completed = completed;
+  s.shed = Shed();
+  s.failed = failed;
+  s.deadline_violations = deadline_violations;
+  s.degraded = degraded;
+  s.breaker_trips = breaker_trips;
+  s.retries = retries;
+  s.goodput_per_s = GoodputPerSecond();
+  s.shed_rate = ShedRate();
+  s.violation_rate = ViolationRate();
+  if (queue_delay_cycles.count() > 0) {
+    s.queue_delay_p50 = queue_delay_cycles.Quantile(0.5);
+    s.queue_delay_p99 = queue_delay_cycles.Quantile(0.99);
+  }
+  if (latency_cycles.count() > 0) {
+    s.latency_p50 = latency_cycles.Quantile(0.5);
+    s.latency_p99 = latency_cycles.Quantile(0.99);
+  }
+  return s;
+}
+
+WalkService::WalkService(const graph::CsrGraph* graph,
+                         const apps::WalkApp* app,
+                         const distributed::Partition* partition,
+                         const ServiceConfig& config)
+    : graph_(graph), app_(app), partition_(partition), config_(config) {
+  LIGHTRW_CHECK(graph != nullptr);
+  LIGHTRW_CHECK(app != nullptr);
+  LIGHTRW_CHECK(partition != nullptr);
+}
+
+StatusOr<ServiceRunStats> WalkService::Run(baseline::WalkOutput* output) {
+  LIGHTRW_RETURN_IF_ERROR(ValidateServiceConfig(config_));
+  const BoardId num_boards = partition_->num_boards();
+  LIGHTRW_RETURN_IF_ERROR(
+      distributed::CheckFailoverSatisfiable(config_.cluster, num_boards));
+  auto arrivals_or = GenerateArrivals(config_.arrivals, *graph_);
+  if (!arrivals_or.ok()) {
+    return arrivals_or.status();
+  }
+  std::vector<ServiceQuery> arrivals = std::move(*arrivals_or);
+
+  ServiceRunStats stats;
+  stats.offered = arrivals.size();
+
+  const uint32_t max_walkers =
+      num_boards * config_.cluster.inflight_walkers_per_board;
+  ClusterSim sim(graph_, app_, partition_, config_.cluster, max_walkers);
+  sim.set_surface_failures(true);
+
+  // Per-query serving state.
+  struct Rec {
+    QueryOutcome outcome = QueryOutcome::kPending;
+    uint32_t attempts = 0;      // admissions tried (dispatched or bounced)
+    Cycle admitted_at = 0;      // last enqueue cycle
+    bool shortened = false;     // degradation applied to the last dispatch
+    bool uniform = false;
+    std::vector<VertexId> path;
+  };
+  std::vector<Rec> recs(arrivals.size());
+
+  // Per-board admission queue + circuit breaker.
+  struct SBoard {
+    std::vector<uint64_t> queue;  // query indices, EDF-popped
+    BreakerState breaker = BreakerState::kClosed;
+    uint32_t consecutive_failures = 0;
+    Cycle open_until = 0;
+    bool probe_inflight = false;  // half-open: one query probes the board
+  };
+  std::vector<SBoard> sboards(num_boards);
+
+  obs::MetricsRegistry* metrics = config_.cluster.board.metrics;
+  obs::TraceRecorder* trace = config_.cluster.board.trace;
+  if (trace != nullptr) {
+    for (BoardId b = 0; b < num_boards; ++b) {
+      trace->NameTrack(b, kServiceTrack, "service");
+    }
+  }
+  auto trace_instant = [&](const char* name, BoardId b, Cycle at) {
+    if (trace != nullptr && trace->accepting()) {
+      trace->Instant(name, "service", b, kServiceTrack, at);
+    }
+  };
+
+  auto shed = [&](uint64_t qi, BoardId b, Cycle at, QueryOutcome outcome) {
+    Rec& r = recs[qi];
+    LIGHTRW_CHECK(r.outcome == QueryOutcome::kPending);
+    r.outcome = outcome;
+    const char* reason = outcome == QueryOutcome::kShedQueueFull
+                             ? "queue_full"
+                         : outcome == QueryOutcome::kShedBreaker
+                             ? "breaker_open"
+                             : "deadline";
+    if (metrics != nullptr) {
+      metrics->GetCounter("service.shed", {{"reason", reason}})
+          ->Increment();
+    }
+    trace_instant("shed", b, at);
+  };
+
+  // A query that cannot be served right now: re-admit after backoff if
+  // budget remains, otherwise settle its terminal outcome.
+  auto bounce = [&](uint64_t qi, BoardId b, Cycle at, Reject why) {
+    Rec& r = recs[qi];
+    if (r.attempts <= config_.retry_budget) {
+      ++stats.retries;
+      if (metrics != nullptr) {
+        metrics->GetCounter("service.retries")->Increment();
+      }
+      const Cycle backoff = config_.retry_backoff_cycles
+                            << (r.attempts - 1);
+      sim.ScheduleWake(MakeTag(kRetryKind, qi), at + backoff);
+      return;
+    }
+    switch (why) {
+      case Reject::kQueueFull:
+        shed(qi, b, at, QueryOutcome::kShedQueueFull);
+        break;
+      case Reject::kBreakerOpen:
+        shed(qi, b, at, QueryOutcome::kShedBreaker);
+        break;
+      case Reject::kWalkFailure:
+        LIGHTRW_CHECK(recs[qi].outcome == QueryOutcome::kPending);
+        recs[qi].outcome = QueryOutcome::kFailed;
+        trace_instant("query_failed", b, at);
+        break;
+    }
+  };
+
+  // Moves queued queries into free walker slots on board `b`,
+  // earliest-deadline-first, applying degradation by queue congestion.
+  auto dispatch = [&](BoardId b, Cycle at) {
+    SBoard& sb = sboards[b];
+    if (sb.breaker == BreakerState::kOpen) {
+      return;
+    }
+    while (!sb.queue.empty() &&
+           sim.InflightOn(b) < config_.cluster.inflight_walkers_per_board &&
+           sim.free_slots() > 0) {
+      if (sb.breaker == BreakerState::kHalfOpen && sb.probe_inflight) {
+        return;  // one probe at a time until the breaker closes
+      }
+      // EDF: earliest absolute deadline wins; deadline-less queries go
+      // last; arrival order breaks ties.
+      const double fill = static_cast<double>(sb.queue.size()) /
+                          static_cast<double>(config_.queue_capacity);
+      size_t best = 0;
+      Cycle best_deadline = std::numeric_limits<Cycle>::max();
+      uint64_t best_qi = std::numeric_limits<uint64_t>::max();
+      for (size_t i = 0; i < sb.queue.size(); ++i) {
+        const uint64_t qi = sb.queue[i];
+        const Cycle d = arrivals[qi].deadline > 0
+                            ? arrivals[qi].deadline
+                            : std::numeric_limits<Cycle>::max();
+        if (d < best_deadline || (d == best_deadline && qi < best_qi)) {
+          best = i;
+          best_deadline = d;
+          best_qi = qi;
+        }
+      }
+      const uint64_t qi = sb.queue[best];
+      sb.queue.erase(sb.queue.begin() + static_cast<ptrdiff_t>(best));
+      const ServiceQuery& sq = arrivals[qi];
+      Rec& r = recs[qi];
+      // A query whose deadline already passed would only waste the slot.
+      if (sq.deadline > 0 && at >= sq.deadline) {
+        shed(qi, b, at, QueryOutcome::kShedDeadline);
+        continue;
+      }
+      WalkerOptions opts;
+      r.shortened = false;
+      r.uniform = false;
+      if (config_.degrade_enabled && sq.best_effort) {
+        if (fill >= config_.degrade_shorten_occupancy) {
+          opts.max_steps = std::max(
+              1u, static_cast<uint32_t>(
+                      static_cast<double>(sq.query.length) *
+                      config_.degrade_shorten_factor));
+          r.shortened = true;
+        }
+        if (fill >= config_.degrade_uniform_occupancy) {
+          opts.uniform_step = true;
+          r.uniform = true;
+        }
+        if (r.shortened || r.uniform) {
+          if (metrics != nullptr) {
+            metrics
+                ->GetCounter("service.degraded",
+                             {{"tier", r.uniform ? "uniform" : "shorten"}})
+                ->Increment();
+          }
+          trace_instant("degrade", b, at);
+        }
+      }
+      const Cycle delay = at - r.admitted_at;
+      stats.queue_delay_cycles.Add(static_cast<double>(delay));
+      if (metrics != nullptr) {
+        metrics->GetHistogram("service.queue_delay_cycles")
+            ->Observe(static_cast<double>(delay));
+      }
+      if (sb.breaker == BreakerState::kHalfOpen) {
+        sb.probe_inflight = true;
+      }
+      sim.Launch(qi, sq.query, b, at, opts);
+    }
+  };
+
+  // Admission: pick a board, apply breaker + queue backpressure, enqueue.
+  auto admit = [&](uint64_t qi, Cycle at) {
+    Rec& r = recs[qi];
+    ++r.attempts;
+    const ServiceQuery& sq = arrivals[qi];
+    // Routing sees no failure oracle: a dead board is discovered the
+    // same way a sick one is — through failures tripping its breaker.
+    BoardId b;
+    if (config_.cluster.replicate_graph) {
+      // Any board can serve any vertex: join the shortest line among
+      // boards whose breaker admits traffic; ties break low.
+      bool found = false;
+      uint64_t best_load = 0;
+      b = 0;
+      for (BoardId cand = 0; cand < num_boards; ++cand) {
+        if (sboards[cand].breaker == BreakerState::kOpen) {
+          continue;
+        }
+        const uint64_t load =
+            sboards[cand].queue.size() + sim.InflightOn(cand);
+        if (!found || load < best_load) {
+          found = true;
+          best_load = load;
+          b = cand;
+        }
+      }
+      if (!found) {
+        bounce(qi, 0, at, Reject::kBreakerOpen);
+        return;
+      }
+    } else {
+      // Prefer the partition owner; while its breaker is open, fail
+      // over to a deterministic alternate board (the walker migrates
+      // back to owned territory on its first steps).
+      b = partition_->OwnerOf(sq.query.start);
+      if (sboards[b].breaker == BreakerState::kOpen && num_boards > 1) {
+        const BoardId shift = static_cast<BoardId>(
+            1 + sq.query.start % (num_boards - 1));
+        b = static_cast<BoardId>((b + shift) % num_boards);
+      }
+    }
+    SBoard& sb = sboards[b];
+    // Cooldown may have elapsed without the wake having fired yet.
+    if (sb.breaker == BreakerState::kOpen && at >= sb.open_until) {
+      sb.breaker = BreakerState::kHalfOpen;
+      sb.probe_inflight = false;
+    }
+    if (sb.breaker == BreakerState::kOpen) {
+      bounce(qi, b, at, Reject::kBreakerOpen);
+      return;
+    }
+    if (sb.queue.size() >= config_.queue_capacity) {
+      bounce(qi, b, at, Reject::kQueueFull);
+      return;
+    }
+    sb.queue.push_back(qi);
+    r.admitted_at = at;
+    if (metrics != nullptr) {
+      metrics
+          ->GetHistogram("service.queue_depth",
+                         {{"board", std::to_string(b)}})
+          ->Observe(static_cast<double>(sb.queue.size()));
+    }
+    dispatch(b, at);
+  };
+
+  sim.set_on_retire([&](const WalkerEnd& end,
+                        std::vector<VertexId>&& path) {
+    const uint64_t qi = end.ticket;
+    const BoardId b = end.board;
+    SBoard& sb = sboards[b];
+    Rec& r = recs[qi];
+    const ServiceQuery& sq = arrivals[qi];
+    if (sb.breaker == BreakerState::kHalfOpen && sb.probe_inflight) {
+      sb.probe_inflight = false;  // this retire is the probe's verdict
+    }
+    if (end.Failed()) {
+      ++sb.consecutive_failures;
+      const bool trip =
+          sb.breaker == BreakerState::kHalfOpen ||
+          (sb.breaker == BreakerState::kClosed &&
+           sb.consecutive_failures >= config_.breaker_failure_threshold);
+      if (trip) {
+        sb.breaker = BreakerState::kOpen;
+        sb.open_until = end.at + config_.breaker_cooldown_cycles;
+        ++stats.breaker_trips;
+        if (metrics != nullptr) {
+          metrics->GetCounter("service.breaker_trips",
+                              {{"board", std::to_string(b)}})
+              ->Increment();
+        }
+        trace_instant("breaker_trip", b, end.at);
+        sim.ScheduleWake(MakeTag(kBreakerKind, b), sb.open_until);
+        // Everything still queued behind the tripped board re-routes
+        // (or retries into the cooldown) instead of waiting it out.
+        std::vector<uint64_t> stranded = std::move(sb.queue);
+        sb.queue.clear();
+        for (const uint64_t qj : stranded) {
+          bounce(qj, b, end.at, Reject::kBreakerOpen);
+        }
+      }
+      bounce(qi, b, end.at, Reject::kWalkFailure);
+    } else {
+      sb.consecutive_failures = 0;
+      if (sb.breaker == BreakerState::kHalfOpen) {
+        sb.breaker = BreakerState::kClosed;  // probe succeeded
+      }
+      LIGHTRW_CHECK(r.outcome == QueryOutcome::kPending);
+      r.outcome = QueryOutcome::kCompleted;
+      r.path = std::move(path);
+      const Cycle latency = end.at - sq.arrival;
+      stats.latency_cycles.Add(static_cast<double>(latency));
+      if (metrics != nullptr) {
+        metrics->GetHistogram("service.latency_cycles")
+            ->Observe(static_cast<double>(latency));
+      }
+      if (sq.deadline > 0 && end.at > sq.deadline) {
+        ++stats.deadline_violations;
+      }
+    }
+    dispatch(b, end.at);
+  });
+
+  sim.set_on_wake([&](uint64_t tag, Cycle at) {
+    const uint64_t kind = tag >> kTagKindShift;
+    const uint64_t payload = tag & kTagPayloadMask;
+    switch (kind) {
+      case kArrivalKind:
+      case kRetryKind:
+        admit(payload, at);
+        break;
+      case kBreakerKind: {
+        SBoard& sb = sboards[payload];
+        if (sb.breaker == BreakerState::kOpen && at >= sb.open_until) {
+          sb.breaker = BreakerState::kHalfOpen;
+          sb.probe_inflight = false;
+          dispatch(static_cast<BoardId>(payload), at);
+        }
+        break;
+      }
+      default:
+        LIGHTRW_CHECK(false);
+    }
+  });
+
+  for (uint64_t i = 0; i < arrivals.size(); ++i) {
+    sim.ScheduleWake(MakeTag(kArrivalKind, i), arrivals[i].arrival);
+  }
+  sim.Drain();
+  sim.Finalize(&stats.cluster);
+
+  // Settle the books: every query has exactly one terminal outcome.
+  outcomes_.clear();
+  outcomes_.reserve(recs.size());
+  for (const Rec& r : recs) {
+    LIGHTRW_CHECK(r.outcome != QueryOutcome::kPending);
+    outcomes_.push_back(r.outcome);
+    switch (r.outcome) {
+      case QueryOutcome::kCompleted:
+        ++stats.completed;
+        if (r.shortened || r.uniform) {
+          ++stats.degraded;
+        }
+        if (r.shortened) {
+          ++stats.degraded_shortened;
+        }
+        if (r.uniform) {
+          ++stats.degraded_uniform;
+        }
+        break;
+      case QueryOutcome::kShedQueueFull:
+        ++stats.shed_queue_full;
+        break;
+      case QueryOutcome::kShedBreaker:
+        ++stats.shed_breaker;
+        break;
+      case QueryOutcome::kShedDeadline:
+        ++stats.shed_deadline;
+        break;
+      case QueryOutcome::kFailed:
+        ++stats.failed;
+        break;
+      case QueryOutcome::kPending:
+        break;
+    }
+  }
+  LIGHTRW_CHECK_EQ(stats.completed + stats.Shed() + stats.failed,
+                   stats.offered);
+  stats.cluster.queries = stats.completed;
+  stats.cycles = stats.cluster.cycles;
+  stats.seconds = stats.cluster.seconds;
+
+  if (output != nullptr) {
+    for (Rec& r : recs) {
+      output->vertices.insert(output->vertices.end(), r.path.begin(),
+                              r.path.end());
+      output->offsets.push_back(
+          static_cast<uint32_t>(output->vertices.size()));
+    }
+  }
+  return stats;
+}
+
+}  // namespace lightrw::service

@@ -2,6 +2,7 @@
 
 #include "apps/ppr.h"
 #include "apps/walk_app.h"
+#include "distributed/config_validation.h"
 #include "distributed/dist_engine.h"
 #include "distributed/partition.h"
 #include "graph/builder.h"
@@ -97,6 +98,62 @@ DistributedConfig TestConfig() {
   config.board.num_instances = 1;
   config.board.seed = 13;
   return config;
+}
+
+// One test per rejected field: the validator must name the offending
+// field so CLI users can fix their flags.
+TEST(DistributedConfigValidationTest, AcceptsDefaults) {
+  EXPECT_TRUE(ValidateDistributedConfig(DistributedConfig()).ok());
+}
+
+TEST(DistributedConfigValidationTest, RejectsZeroWalkerMessageBytes) {
+  DistributedConfig config;
+  config.walker_message_bytes = 0;
+  const Status status = ValidateDistributedConfig(config);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("walker_message_bytes"),
+            std::string::npos);
+}
+
+TEST(DistributedConfigValidationTest, RejectsZeroInflightWalkersPerBoard) {
+  DistributedConfig config;
+  config.inflight_walkers_per_board = 0;
+  const Status status = ValidateDistributedConfig(config);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("inflight_walkers_per_board"),
+            std::string::npos);
+}
+
+TEST(DistributedConfigValidationTest, RejectsZeroSamplerParallelism) {
+  DistributedConfig config;
+  config.board.sampler_parallelism = 0;
+  const Status status = ValidateDistributedConfig(config);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("sampler_parallelism"), std::string::npos);
+}
+
+TEST(DistributedConfigValidationTest, RejectsZeroBoardInstances) {
+  DistributedConfig config;
+  config.board.num_instances = 0;
+  const Status status = ValidateDistributedConfig(config);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("num_instances"), std::string::npos);
+}
+
+TEST(DistributedConfigValidationTest, RejectsBadNestedDramConfig) {
+  DistributedConfig config;
+  config.board.dram.bus_bytes = 0;
+  const Status status = ValidateDistributedConfig(config);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("bus_bytes"), std::string::npos);
+}
+
+TEST(DistributedConfigValidationTest, RejectsBadNestedLinkConfig) {
+  DistributedConfig config;
+  config.link.bytes_per_cycle = 0.0;
+  const Status status = ValidateDistributedConfig(config);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("bytes_per_cycle"), std::string::npos);
 }
 
 TEST(DistributedEngineTest, RunsAllQueriesWithValidWalks) {

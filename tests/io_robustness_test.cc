@@ -114,6 +114,112 @@ TEST(IoTruncationTest, CorpusEveryPrefixRejected) {
   EXPECT_TRUE(analytics::ReadCorpusBinary(full_path).ok());
 }
 
+std::vector<uint8_t> ReadAllBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr);
+  std::vector<uint8_t> bytes(1 << 12);
+  const size_t total = std::fread(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  bytes.resize(total);
+  return bytes;
+}
+
+// Cut a valid binary graph in the middle of an edge record (not at a
+// field boundary like the every-prefix sweep's coarser strides hit).
+TEST(IoTruncationTest, BinaryGraphTruncatedMidRecordRejected) {
+  graph::GraphBuilder builder(4, false);
+  builder.AddEdge(0, 1, 2, 1);
+  builder.AddEdge(1, 2, 3, 0);
+  builder.AddEdge(2, 3, 1, 2);
+  const graph::CsrGraph g = std::move(builder).Build();
+  const std::string full_path = TempPath("graph_midrec.bin");
+  ASSERT_TRUE(graph::WriteBinary(g, full_path).ok());
+  const std::vector<uint8_t> bytes = ReadAllBytes(full_path);
+  ASSERT_GT(bytes.size(), 10u);
+
+  const std::string trunc_path = TempPath("graph_midrec_trunc.bin");
+  for (const size_t back : {2u, 3u, 5u, 7u}) {
+    WriteBytes(trunc_path, std::vector<uint8_t>(
+                               bytes.begin(), bytes.end() - back));
+    EXPECT_FALSE(graph::ReadBinary(trunc_path).ok()) << "back=" << back;
+  }
+}
+
+TEST(IoTruncationTest, CorpusTruncatedMidRecordRejected) {
+  baseline::WalkOutput corpus;
+  corpus.vertices = {1, 2, 3, 4, 5};
+  corpus.offsets = {0, 2, 5};
+  const std::string full_path = TempPath("corpus_midrec.bin");
+  ASSERT_TRUE(analytics::WriteCorpusBinary(corpus, full_path).ok());
+  const std::vector<uint8_t> bytes = ReadAllBytes(full_path);
+  ASSERT_GT(bytes.size(), 10u);
+
+  const std::string trunc_path = TempPath("corpus_midrec_trunc.bin");
+  for (const size_t back : {1u, 2u, 3u}) {
+    WriteBytes(trunc_path, std::vector<uint8_t>(
+                               bytes.begin(), bytes.end() - back));
+    EXPECT_FALSE(analytics::ReadCorpusBinary(trunc_path).ok())
+        << "back=" << back;
+  }
+}
+
+// Single-bit corruption in the header region. Magic flips must be
+// rejected; flips in the length prefixes must never crash and anything
+// the reader does accept must have passed its structural validation.
+TEST(IoBitFlipTest, BinaryGraphHeaderBitFlips) {
+  graph::GraphBuilder builder(4, false);
+  builder.AddEdge(0, 1, 2, 1);
+  builder.AddEdge(1, 2, 3, 0);
+  builder.AddEdge(2, 3, 1, 2);
+  const graph::CsrGraph g = std::move(builder).Build();
+  const std::string full_path = TempPath("graph_flip.bin");
+  ASSERT_TRUE(graph::WriteBinary(g, full_path).ok());
+  const std::vector<uint8_t> bytes = ReadAllBytes(full_path);
+  ASSERT_GT(bytes.size(), 24u);
+
+  const std::string flip_path = TempPath("graph_flip_mut.bin");
+  for (size_t byte = 0; byte < 24; ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<uint8_t> mutated = bytes;
+      mutated[byte] ^= static_cast<uint8_t>(1u << bit);
+      WriteBytes(flip_path, mutated);
+      const auto result = graph::ReadBinary(flip_path);
+      if (byte < 8) {
+        // Magic corruption must always be caught.
+        EXPECT_FALSE(result.ok()) << "byte=" << byte << " bit=" << bit;
+      } else if (result.ok()) {
+        // A length-prefix flip the reader accepted must still have
+        // produced a structurally valid graph.
+        EXPECT_LE(result->num_edges(),
+                  static_cast<graph::EdgeIndex>(bytes.size()));
+      }
+    }
+  }
+}
+
+TEST(IoBitFlipTest, CorpusHeaderBitFlipsRejected) {
+  baseline::WalkOutput corpus;
+  corpus.vertices = {1, 2, 3, 4, 5};
+  corpus.offsets = {0, 2, 5};
+  const std::string full_path = TempPath("corpus_flip.bin");
+  ASSERT_TRUE(analytics::WriteCorpusBinary(corpus, full_path).ok());
+  const std::vector<uint8_t> bytes = ReadAllBytes(full_path);
+  // Header: 8-byte magic + two 8-byte counts, all validated against the
+  // exact file size, so every single-bit flip in it must be rejected.
+  ASSERT_GT(bytes.size(), 24u);
+
+  const std::string flip_path = TempPath("corpus_flip_mut.bin");
+  for (size_t byte = 0; byte < 24; ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<uint8_t> mutated = bytes;
+      mutated[byte] ^= static_cast<uint8_t>(1u << bit);
+      WriteBytes(flip_path, mutated);
+      EXPECT_FALSE(analytics::ReadCorpusBinary(flip_path).ok())
+          << "byte=" << byte << " bit=" << bit;
+    }
+  }
+}
+
 // Valid magic followed by a length prefix declaring ~2^60 elements. The
 // reader must reject the header against the actual file size instead of
 // attempting an exabyte allocation.

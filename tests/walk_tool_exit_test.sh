@@ -1,0 +1,68 @@
+#!/bin/sh
+# Exit-code contract of walk_tool:
+#   0  success (including --help)
+#   1  usage, configuration, or I/O error
+#   2  service run finished but breached an --slo-max-* threshold
+# Every non-zero path must print a one-line reason on stderr.
+#
+# Usage: walk_tool_exit_test.sh <path-to-walk_tool>
+set -u
+
+TOOL="${1:?usage: $0 <path-to-walk_tool>}"
+fails=0
+
+expect() {
+  desc="$1"
+  want="$2"
+  shift 2
+  err=$("$@" 2>&1 >/dev/null)
+  got=$?
+  if [ "$got" -ne "$want" ]; then
+    echo "FAIL: $desc: want exit $want, got $got" >&2
+    fails=$((fails + 1))
+  elif [ "$want" -ne 0 ] && [ -z "$err" ]; then
+    echo "FAIL: $desc: exit $got but no stderr reason" >&2
+    fails=$((fails + 1))
+  else
+    echo "ok: $desc (exit $got)"
+  fi
+}
+
+# Small deterministic base invocation shared by the success cases.
+BASE="--rmat_scale 8 --app deepwalk --length 8 --queries 64 --seed 42"
+
+expect "help" 0 "$TOOL" --help
+expect "cpu run succeeds" 0 "$TOOL" --engine cpu $BASE
+expect "service run succeeds" 0 "$TOOL" --engine service $BASE \
+  --boards 2 --partition hash --service-rate 0.2
+expect "unknown flag" 1 "$TOOL" --bogus-flag
+expect "malformed flag value" 1 "$TOOL" --length abc
+expect "unknown engine" 1 "$TOOL" --engine bogus $BASE
+expect "unknown app" 1 "$TOOL" --app bogus --rmat_scale 8
+expect "bad walk length" 1 "$TOOL" --length 0 --rmat_scale 8
+expect "bad rmat scale" 1 "$TOOL" --rmat_scale 99
+expect "missing graph file" 1 "$TOOL" --graph /nonexistent/edges.txt
+expect "bad board count" 1 "$TOOL" --engine distributed --boards 0 \
+  --rmat_scale 8
+expect "unknown partition strategy" 1 "$TOOL" --engine distributed \
+  --partition bogus $BASE
+expect "invalid service config" 1 "$TOOL" --engine service $BASE \
+  --service-queue-cap 0
+expect "unwritable corpus path" 1 "$TOOL" --engine cpu $BASE \
+  --out /nonexistent-dir/corpus.txt
+expect "unwritable metrics path" 1 "$TOOL" --engine cpu $BASE \
+  --metrics-out /nonexistent-dir/metrics.json
+expect "fault run losing walk data" 1 "$TOOL" --engine distributed \
+  --boards 2 --partition hash --rmat_scale 8 --app deepwalk --length 16 \
+  --queries 128 --seed 42 --faults --fault-fail-cycle 2000 \
+  --fault-fail-board 1 --fault-checkpoint-interval 0
+expect "service slo breach" 2 "$TOOL" --engine service --rmat_scale 10 \
+  --app deepwalk --length 24 --queries 256 --seed 42 --boards 2 \
+  --partition hash --service-rate 50.0 --service-deadline 15000 \
+  --service-queue-cap 4 --service-retries 0 --slo-max-shed 0.1
+
+if [ "$fails" -ne 0 ]; then
+  echo "$fails case(s) failed" >&2
+  exit 1
+fi
+echo "all exit-code cases passed"
