@@ -5,6 +5,7 @@
 #include <map>
 
 #include "common/check.h"
+#include "common/sim_thread_pool.h"
 #include "obs/trace.h"
 
 namespace lightrw::bench {
@@ -32,6 +33,8 @@ size_t MaxQueries() {
       static_cast<size_t>(EnvOr("LIGHTRW_MAX_QUERIES", 8192));
   return cap;
 }
+
+uint32_t SimThreads() { return SimThreadPool::DefaultThreads(); }
 
 const graph::CsrGraph& StandIn(graph::Dataset dataset) {
   static std::map<graph::Dataset, graph::CsrGraph>& cache =
@@ -119,6 +122,9 @@ obs::Json BenchContext() {
   context.Set("scale_shift", static_cast<uint64_t>(ScaleShift()));
   context.Set("max_queries", static_cast<uint64_t>(MaxQueries()));
   context.Set("seed", kBenchSeed);
+  // Provenance only: rows must not move with the thread count (the CI
+  // determinism gate diffs them across 1 vs N threads).
+  context.Set("sim_threads", static_cast<uint64_t>(SimThreads()));
   return context;
 }
 

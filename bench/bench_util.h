@@ -7,6 +7,9 @@
 // Environment knobs:
 //   LIGHTRW_SCALE_SHIFT  divide dataset |V| and |E| by 2^shift (default 7)
 //   LIGHTRW_MAX_QUERIES  cap on queries per run (default 8192; 0 = |V|)
+//   LIGHTRW_SIM_THREADS  host worker threads for sharded simulations
+//                        (default 1); simulated metrics are unchanged by
+//                        this value — only wall time moves
 
 #ifndef LIGHTRW_BENCH_BENCH_UTIL_H_
 #define LIGHTRW_BENCH_BENCH_UTIL_H_
@@ -32,6 +35,8 @@ inline constexpr uint64_t kBenchSeed = 20230618;
 
 uint32_t ScaleShift();
 size_t MaxQueries();
+// Resolved LIGHTRW_SIM_THREADS (what engines with num_threads = 0 use).
+uint32_t SimThreads();
 
 // Cached scaled stand-in for a paper dataset (built on first use).
 const graph::CsrGraph& StandIn(graph::Dataset dataset);

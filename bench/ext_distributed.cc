@@ -28,6 +28,9 @@ struct Row {
   double msteps_per_s = 0.0;
   double migration_ratio = 0.0;
   double cut_ratio = 0.0;
+  uint64_t steps = 0;
+  uint64_t cycles = 0;
+  uint64_t migrations = 0;
 };
 
 std::vector<Row>& Rows() {
@@ -56,6 +59,9 @@ void DistributedBench(benchmark::State& state, PartitionStrategy strategy,
     const auto stats = engine.Run(queries).value();
     row.msteps_per_s = stats.StepsPerSecond() / 1e6;
     row.migration_ratio = stats.MigrationRatio();
+    row.steps = stats.steps;
+    row.cycles = stats.cycles;
+    row.migrations = stats.migrations;
   }
   state.counters["Msteps"] = row.msteps_per_s;
   state.counters["migration_pct"] = row.migration_ratio * 100.0;
@@ -82,6 +88,9 @@ void ReplicatedBench(benchmark::State& state) {
     const auto stats = engine.Run(queries).value();
     row.msteps_per_s = stats.StepsPerSecond() / 1e6;
     row.migration_ratio = stats.MigrationRatio();
+    row.steps = stats.steps;
+    row.cycles = stats.cycles;
+    row.migrations = stats.migrations;
   }
   state.counters["Msteps"] = row.msteps_per_s;
   Rows().push_back(row);
@@ -131,6 +140,21 @@ void PrintSummary() {
               FormatDouble(row.cut_ratio * 100, 1) + "%"},
              widths);
   }
+
+  obs::Json rows = obs::Json::MakeArray();
+  for (const Row& row : Rows()) {
+    obs::Json r = obs::Json::MakeObject();
+    r.Set("strategy", row.strategy);
+    r.Set("boards", static_cast<uint64_t>(row.boards));
+    r.Set("msteps_per_s", row.msteps_per_s);
+    r.Set("migration_ratio", row.migration_ratio);
+    r.Set("cut_ratio", row.cut_ratio);
+    r.Set("steps", row.steps);
+    r.Set("cycles", row.cycles);
+    r.Set("migrations", row.migrations);
+    rows.Append(std::move(r));
+  }
+  WriteBenchJson("ext_distributed", std::move(rows));
 }
 
 }  // namespace

@@ -55,7 +55,8 @@ void PcieBench(benchmark::State& state, graph::Dataset dataset,
     const double graph_seconds =
         pcie.TransferSeconds(g.ModeledByteSize() * config.num_instances);
     const uint64_t query_result_bytes =
-        full_queries * 8 + full_queries * (static_cast<uint64_t>(length) + 1) * 4;
+        full_queries * 8 +
+        full_queries * (static_cast<uint64_t>(length) + 1) * 4;
     const double io_seconds =
         graph_seconds + pcie.TransferSeconds(query_result_bytes);
     row.pcie_share = io_seconds / (io_seconds + kernel_seconds);

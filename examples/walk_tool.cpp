@@ -18,6 +18,7 @@
 #include "apps/walk_app.h"
 #include "baseline/engine.h"
 #include "common/flags.h"
+#include "common/sim_thread_pool.h"
 #include "common/timer.h"
 #include "distributed/dist_engine.h"
 #include "distributed/partition.h"
@@ -162,6 +163,15 @@ int main(int argc, char** argv) {
   flags.DefineInt("trace-limit", "max trace events kept (0 = disable)",
                   1048576);
   flags.DefineInt("boards", "simulated boards (engine=distributed)", 4);
+  flags.DefineInt("threads",
+                  "host worker threads for sharded simulation (0 = "
+                  "LIGHTRW_SIM_THREADS env, else 1); results are "
+                  "bit-identical for every value",
+                  0);
+  flags.DefineInt("service-shards",
+                  "independent admission shards (engine=service; must "
+                  "divide --boards evenly; > 1 requires --replicate)",
+                  1);
   flags.Define("partition",
                "graph partitioning strategy: hash|range|greedy "
                "(engine=distributed)",
@@ -242,6 +252,19 @@ int main(int argc, char** argv) {
   if (flags.GetBool("help")) {
     std::printf("lightrw walk tool\n%s", flags.HelpText().c_str());
     return 0;
+  }
+
+  const int64_t raw_threads = flags.GetInt("threads");
+  if (raw_threads < 0 ||
+      raw_threads > static_cast<int64_t>(SimThreadPool::kMaxThreads)) {
+    std::fprintf(stderr, "--threads must be in [0, %u], got %lld\n",
+                 SimThreadPool::kMaxThreads,
+                 static_cast<long long>(raw_threads));
+    return 1;
+  }
+  const uint32_t threads = static_cast<uint32_t>(raw_threads);
+  if (threads > 0) {
+    SimThreadPool::SetDefaultThreads(threads);
   }
 
   // Load or generate the graph.
@@ -327,6 +350,7 @@ int main(int argc, char** argv) {
     core::AcceleratorConfig config;
     config.seed = flags.GetInt("seed");
     config.faults = faults;
+    config.num_threads = threads;
     if (!metrics_out.empty()) {
       config.metrics = &metrics;
     }
@@ -380,6 +404,7 @@ int main(int argc, char** argv) {
     config.board.seed = flags.GetInt("seed");
     config.board.faults = faults;
     config.replicate_graph = flags.GetBool("replicate");
+    config.num_threads = threads;
     if (!metrics_out.empty()) {
       config.board.metrics = &metrics;
     }
@@ -424,6 +449,9 @@ int main(int argc, char** argv) {
     config.cluster.board.seed = flags.GetInt("seed");
     config.cluster.board.faults = faults;
     config.cluster.replicate_graph = flags.GetBool("replicate");
+    config.cluster.num_threads = threads;
+    config.admission_shards =
+        static_cast<uint32_t>(flags.GetInt("service-shards"));
     if (!metrics_out.empty()) {
       config.cluster.board.metrics = &metrics;
     }

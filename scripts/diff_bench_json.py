@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Byte-level determinism gate for BENCH_*.json files.
+
+Usage: diff_bench_json.py A.json B.json
+
+Compares two bench JSON records produced by runs that differ only in
+host parallelism (e.g. LIGHTRW_SIM_THREADS=1 vs 4). Every simulated
+field — the bench name, the reproduction context, and all rows — must
+match exactly; the only field allowed to differ is context.sim_threads,
+which records the knob under test. Exits non-zero with a field-by-field
+report on any drift: a simulated metric that moves with the thread
+count is a determinism bug, not noise.
+"""
+
+import json
+import sys
+
+
+def canonical(record):
+    record = json.loads(json.dumps(record))  # deep copy
+    record.get("context", {}).pop("sim_threads", None)
+    return record
+
+
+def describe_diff(a, b, path=""):
+    diffs = []
+    if isinstance(a, dict) and isinstance(b, dict):
+        for key in sorted(set(a) | set(b)):
+            sub = f"{path}.{key}" if path else key
+            if key not in a:
+                diffs.append(f"{sub}: missing in first file")
+            elif key not in b:
+                diffs.append(f"{sub}: missing in second file")
+            else:
+                diffs.extend(describe_diff(a[key], b[key], sub))
+    elif isinstance(a, list) and isinstance(b, list):
+        if len(a) != len(b):
+            diffs.append(f"{path}: {len(a)} vs {len(b)} entries")
+        for i, (x, y) in enumerate(zip(a, b)):
+            diffs.extend(describe_diff(x, y, f"{path}[{i}]"))
+    elif a != b or type(a) is not type(b):
+        diffs.append(f"{path}: {a!r} != {b!r}")
+    return diffs
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(argv[1]) as f:
+        a = canonical(json.load(f))
+    with open(argv[2]) as f:
+        b = canonical(json.load(f))
+    if json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True):
+        print(f"OK: {argv[1]} and {argv[2]} agree on every simulated field")
+        return 0
+    print(f"DETERMINISM FAILURE: {argv[1]} vs {argv[2]}", file=sys.stderr)
+    for line in describe_diff(a, b):
+        print(f"  {line}", file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

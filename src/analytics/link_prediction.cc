@@ -78,8 +78,9 @@ std::vector<std::pair<graph::VertexId, graph::VertexId>> PredictTopLinks(
     scored.emplace_back(embedding.CosineSimilarity(u, v), i);
   }
   const size_t k = std::min(top_k, scored.size());
-  std::partial_sort(scored.begin(), scored.begin() + k, scored.end(),
-                    [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::partial_sort(
+      scored.begin(), scored.begin() + k, scored.end(),
+      [](const auto& a, const auto& b) { return a.first > b.first; });
   std::vector<std::pair<graph::VertexId, graph::VertexId>> result;
   result.reserve(k);
   for (size_t i = 0; i < k; ++i) {

@@ -44,7 +44,8 @@ class Worker {
         config_(config),
         worker_index_(worker_index),
         gen_(worker_seed),
-        wrs_rng_(std::max<size_t>(config.pwrs_lanes, 1), worker_seed ^ 0xd1ceULL),
+        wrs_rng_(std::max<size_t>(config.pwrs_lanes, 1),
+                 worker_seed ^ 0xd1ceULL),
         reservoir_(&wrs_rng_, 0),
         pwrs_(std::max<size_t>(config.pwrs_lanes, 1), &wrs_rng_) {
     if (config_.collect_profile) {
@@ -333,7 +334,8 @@ BaselineRunStats BaselineEngine::Run(std::span<const WalkQuery> queries,
   if (num_threads == 0) {
     num_threads = std::max(1u, std::thread::hardware_concurrency());
   }
-  num_threads = std::min<size_t>(num_threads, std::max<size_t>(queries.size(), 1));
+  num_threads =
+      std::min<size_t>(num_threads, std::max<size_t>(queries.size(), 1));
 
   BaselineRunStats total;
   WallTimer timer;

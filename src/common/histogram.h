@@ -40,6 +40,11 @@ class SampleStats {
   // The stored samples, sorted ascending (sorts lazily on first call).
   const std::vector<double>& sorted_samples() const;
 
+  // The stored samples in insertion order. Only meaningful before the
+  // first order-statistic query, which may reorder them in place; used
+  // to replay per-shard samples into shared sinks in a fixed order.
+  const std::vector<double>& raw_samples() const { return samples_; }
+
  private:
   // Sorts samples_ if new samples arrived since the last query.
   void EnsureSorted() const;

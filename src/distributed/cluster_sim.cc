@@ -82,6 +82,24 @@ struct ClusterSim::Walker {
   WalkerCheckpoint ckpt;
 };
 
+void DistributedRunStats::Accumulate(const DistributedRunStats& part) {
+  queries += part.queries;
+  steps += part.steps;
+  migrations += part.migrations;
+  dram.requests += part.dram.requests;
+  dram.beats += part.dram.beats;
+  dram.bytes += part.dram.bytes;
+  dram.busy_cycles += part.dram.busy_cycles;
+  dram.useful_bytes += part.dram.useful_bytes;
+  network.messages += part.network.messages;
+  network.payload_bytes += part.network.payload_bytes;
+  network.busy_cycles += part.network.busy_cycles;
+  reliability.Accumulate(part.reliability);
+  cycles = std::max(cycles, part.cycles);
+  per_board_graph_bytes =
+      std::max(per_board_graph_bytes, part.per_board_graph_bytes);
+}
+
 Status CheckFailoverSatisfiable(const DistributedConfig& config,
                                 BoardId num_boards) {
   const reliability::FaultConfig& faults = config.board.faults;
@@ -132,17 +150,19 @@ ClusterSim::ClusterSim(const graph::CsrGraph* graph, const apps::WalkApp* app,
   }
   for (BoardId b = 0; b < num_boards; ++b) {
     Board& board = boards_[b];
+    const BoardId global = GlobalBoard(b);
     if (faults.enabled) {
-      board.dram_faults = reliability::FaultStream(faults, b);
-      board.link_faults = reliability::FaultStream(faults, 0x10000ULL + b);
+      board.dram_faults = reliability::FaultStream(faults, global);
+      board.link_faults =
+          reliability::FaultStream(faults, 0x10000ULL + global);
       board.channel.AttachFaults(&board.dram_faults, &board.rel);
       board.link.AttachFaults(&board.link_faults, &board.rel);
     }
     if (trace != nullptr) {
-      trace->NameProcess(b, "board " + std::to_string(b));
-      trace->NameTrack(b, kBoardDramTrack, "dram channel");
-      trace->NameTrack(b, kBoardNetTrack, "network / faults");
-      board.channel.AttachTrace(trace, b, kBoardDramTrack);
+      trace->NameProcess(global, "board " + std::to_string(global));
+      trace->NameTrack(global, kBoardDramTrack, "dram channel");
+      trace->NameTrack(global, kBoardNetTrack, "network / faults");
+      board.channel.AttachTrace(trace, global, kBoardDramTrack);
     }
   }
 
@@ -302,7 +322,8 @@ void ClusterSim::Recover(size_t slot, Cycle at) {
     ++recovery_rel_.walkers_lost;
     ++recovery_rel_.walks_failed;
     if (trace != nullptr && trace->accepting()) {
-      trace->Instant("walker_lost", "fault", w.board, kBoardNetTrack, at);
+      trace->Instant("walker_lost", "fault", GlobalBoard(w.board),
+                     kBoardNetTrack, at);
     }
     Retire(slot, at);
     return;
@@ -320,8 +341,8 @@ void ClusterSim::Recover(size_t slot, Cycle at) {
   recovery_rel_.recovery_cycles += resume - at;
   ++recovery_rel_.walkers_recovered;
   if (trace != nullptr && trace->accepting()) {
-    trace->Instant("walker_recovered", "fault", w.board, kBoardNetTrack,
-                   resume);
+    trace->Instant("walker_recovered", "fault", GlobalBoard(w.board),
+                   kBoardNetTrack, resume);
   }
   events_.emplace(resume, 0, slot);
 }
@@ -508,7 +529,7 @@ void ClusterSim::Finalize(DistributedRunStats* stats) {
     stats->reliability.Accumulate(board.rel);
     if (metrics != nullptr) {
       // Per-partition load balance: one label set per board.
-      const obs::Labels labels = {{"board", std::to_string(b)}};
+      const obs::Labels labels = {{"board", std::to_string(GlobalBoard(b))}};
       metrics->GetCounter("dist.board.steps", labels)
           ->Increment(board.steps_served);
       metrics->GetCounter("dist.board.migrations_out", labels)

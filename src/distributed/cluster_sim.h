@@ -63,6 +63,19 @@ struct DistributedConfig {
   // larger than one board's DRAM at the cost of network migrations.
   bool replicate_graph = false;
 
+  // Host worker threads for drivers that decompose the cluster into
+  // independent board shards (DistributedEngine in replicated mode
+  // without faults, WalkService admission shards). The decomposition is
+  // fixed by the configuration, never by the thread count, so results
+  // are bit-identical for every value. 0 = SimThreadPool default.
+  uint32_t num_threads = 0;
+
+  // Global id of this sim's board 0. Sharded drivers simulate a slice of
+  // a larger cluster per ClusterSim; the offset keeps fault-stream
+  // seeds, trace pids, and metric labels aligned with the board's global
+  // identity so a sharded run reports exactly like an unsharded one.
+  BoardId first_board = 0;
+
   // Fault injection (DRAM ECC, link loss, board failure) and the
   // checkpoint/failover protocol are configured through `board.faults`
   // (reliability::FaultConfig), shared with the per-board accelerator
@@ -92,6 +105,12 @@ struct DistributedRunStats {
   // Faults injected, retries, retransmissions, checkpoints, and
   // recovered/lost walkers, summed over boards plus the failover logic.
   reliability::ReliabilityStats reliability;
+
+  // Folds a board shard's run into this total: counters sum, the
+  // makespan and per-board image size max. Callers recompute `seconds`
+  // from the merged cycle count. Shards must be folded in a fixed order
+  // so merged results are independent of execution interleaving.
+  void Accumulate(const DistributedRunStats& part);
 };
 
 // Per-attempt execution options — the service layer's degradation knobs.
@@ -151,6 +170,11 @@ class ClusterSim {
   void set_surface_failures(bool v) { surface_failures_ = v; }
 
   BoardId num_boards() const;
+  // Global identity of local board `b` (see DistributedConfig::
+  // first_board): what fault seeds, trace pids, and metric labels use.
+  BoardId GlobalBoard(BoardId b) const {
+    return static_cast<BoardId>(config_.first_board + b);
+  }
   // True once the scheduled whole-board failure has passed for `b`.
   bool IsDead(BoardId b, hwsim::Cycle t) const;
   // Owner of `v` at time `t`: the partition owner, except that a dead

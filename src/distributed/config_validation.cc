@@ -1,5 +1,8 @@
 #include "distributed/config_validation.h"
 
+#include <string>
+
+#include "common/sim_thread_pool.h"
 #include "hwsim/validation.h"
 #include "reliability/fault_injector.h"
 
@@ -10,6 +13,11 @@ Status ValidateDistributedConfig(const DistributedConfig& config) {
     return InvalidArgumentError(
         "walker_message_bytes must be >= 1 (a migration ships the walker "
         "state)");
+  }
+  if (config.num_threads > SimThreadPool::kMaxThreads) {
+    return InvalidArgumentError(
+        "num_threads must be <= " +
+        std::to_string(SimThreadPool::kMaxThreads) + " (0 = default)");
   }
   if (config.inflight_walkers_per_board == 0) {
     return InvalidArgumentError("inflight_walkers_per_board must be >= 1");

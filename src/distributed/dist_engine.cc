@@ -1,11 +1,14 @@
 #include "distributed/dist_engine.h"
 
 #include <algorithm>
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include "common/check.h"
+#include "common/sim_thread_pool.h"
 #include "distributed/config_validation.h"
+#include "obs/trace.h"
 
 namespace lightrw::distributed {
 
@@ -27,51 +30,124 @@ StatusOr<DistributedRunStats> DistributedEngine::Run(
   const BoardId num_boards = partition_->num_boards();
   LIGHTRW_RETURN_IF_ERROR(CheckFailoverSatisfiable(config_, num_boards));
 
-  DistributedRunStats stats;
-  const size_t max_inflight =
-      static_cast<size_t>(num_boards) * config_.inflight_walkers_per_board;
-  const size_t num_walkers = std::min(max_inflight, queries.size());
-  ClusterSim sim(graph_, app_, partition_, config_,
-                 static_cast<uint32_t>(num_walkers));
-
   std::vector<std::vector<graph::VertexId>> finished;
   if (output != nullptr) {
     finished.resize(queries.size());
   }
 
-  size_t next_query = 0;
-  auto load = [&](hwsim::Cycle at) {
-    if (next_query >= queries.size()) {
-      return;
+  DistributedRunStats stats;
+  // Replicated boards never exchange walkers, so each board is an
+  // independent shard: its own ClusterSim, driven closed-loop from its
+  // own round-robin slice of the query set, refilled by its own retires.
+  // Fault injection couples boards (failover recovers walkers onto
+  // survivors), so any enabled fault schedule falls back to the single
+  // coupled event loop below.
+  const bool sharded = config_.replicate_graph &&
+                       !config_.board.faults.enabled && num_boards > 1;
+  if (sharded) {
+    // All vertices on local board 0 of every shard (replication makes
+    // ownership irrelevant; the partition only sizes the sim).
+    const Partition single(
+        std::vector<BoardId>(graph_->num_vertices(), 0), 1);
+    std::vector<std::vector<apps::WalkQuery>> shard_queries(num_boards);
+    std::vector<std::vector<size_t>> shard_tickets(num_boards);
+    for (size_t i = 0; i < queries.size(); ++i) {
+      shard_queries[i % num_boards].push_back(queries[i]);
+      shard_tickets[i % num_boards].push_back(i);
     }
-    const size_t qi = next_query++;
-    const apps::WalkQuery& q = queries[qi];
-    // Replicated mode keeps a walker on its initial board for its whole
-    // life (any board can serve any vertex).
-    BoardId board = config_.replicate_graph
-                        ? static_cast<BoardId>(qi % num_boards)
-                        : partition_->OwnerOf(q.start);
-    if (sim.IsDead(board, at)) {
-      board = sim.SurvivorOf(config_.replicate_graph ? qi : q.start);
-    }
-    sim.Launch(qi, q, board, at);
-  };
 
-  sim.set_on_retire([&](const WalkerEnd& end,
-                        std::vector<graph::VertexId>&& path) {
-    if (output != nullptr) {
-      finished[end.ticket] = std::move(path);
+    obs::TraceRecorder* shared_trace = config_.board.trace;
+    std::vector<DistributedRunStats> shard_stats(num_boards);
+    std::vector<std::unique_ptr<obs::TraceRecorder>> trace_shards(
+        num_boards);
+    const uint32_t threads =
+        SimThreadPool::ResolveThreads(config_.num_threads);
+    SimThreadPool::ParallelFor(threads, num_boards, [&](size_t b) {
+      DistributedConfig shard_config = config_;
+      shard_config.first_board = static_cast<BoardId>(b);
+      if (shared_trace != nullptr) {
+        trace_shards[b] =
+            std::make_unique<obs::TraceRecorder>(shared_trace->config());
+        shard_config.board.trace = trace_shards[b].get();
+      }
+      const std::vector<apps::WalkQuery>& share = shard_queries[b];
+      const std::vector<size_t>& tickets = shard_tickets[b];
+      const size_t num_walkers = std::min<size_t>(
+          config_.inflight_walkers_per_board, share.size());
+      ClusterSim sim(graph_, app_, &single, shard_config,
+                     static_cast<uint32_t>(std::max<size_t>(num_walkers,
+                                                            1)));
+      size_t next_query = 0;
+      auto load = [&](hwsim::Cycle at) {
+        if (next_query >= share.size()) {
+          return;
+        }
+        const size_t qi = next_query++;
+        sim.Launch(tickets[qi], share[qi], /*board=*/0, at);
+      };
+      sim.set_on_retire([&](const WalkerEnd& end,
+                            std::vector<graph::VertexId>&& path) {
+        if (output != nullptr) {
+          finished[end.ticket] = std::move(path);
+        }
+        ++shard_stats[b].queries;
+        load(end.at);
+      });
+      for (size_t i = 0; i < num_walkers; ++i) {
+        load(0);
+      }
+      sim.Drain();
+      sim.Finalize(&shard_stats[b]);
+    });
+    for (BoardId b = 0; b < num_boards; ++b) {
+      stats.Accumulate(shard_stats[b]);
+      if (trace_shards[b] != nullptr) {
+        shared_trace->MergeFrom(trace_shards[b].get());
+      }
     }
-    ++stats.queries;
-    // Keep the freed slot busy: the batch workload is closed-loop.
-    load(end.at);
-  });
+    stats.seconds = static_cast<double>(stats.cycles) /
+                    config_.board.dram.clock_hz;
+  } else {
+    const size_t max_inflight = static_cast<size_t>(num_boards) *
+                                config_.inflight_walkers_per_board;
+    const size_t num_walkers = std::min(max_inflight, queries.size());
+    ClusterSim sim(graph_, app_, partition_, config_,
+                   static_cast<uint32_t>(num_walkers));
 
-  for (size_t i = 0; i < num_walkers; ++i) {
-    load(0);
+    size_t next_query = 0;
+    auto load = [&](hwsim::Cycle at) {
+      if (next_query >= queries.size()) {
+        return;
+      }
+      const size_t qi = next_query++;
+      const apps::WalkQuery& q = queries[qi];
+      // Replicated mode keeps a walker on its initial board for its
+      // whole life (any board can serve any vertex).
+      BoardId board = config_.replicate_graph
+                          ? static_cast<BoardId>(qi % num_boards)
+                          : partition_->OwnerOf(q.start);
+      if (sim.IsDead(board, at)) {
+        board = sim.SurvivorOf(config_.replicate_graph ? qi : q.start);
+      }
+      sim.Launch(qi, q, board, at);
+    };
+
+    sim.set_on_retire([&](const WalkerEnd& end,
+                          std::vector<graph::VertexId>&& path) {
+      if (output != nullptr) {
+        finished[end.ticket] = std::move(path);
+      }
+      ++stats.queries;
+      // Keep the freed slot busy: the batch workload is closed-loop.
+      load(end.at);
+    });
+
+    for (size_t i = 0; i < num_walkers; ++i) {
+      load(0);
+    }
+    sim.Drain();
+    sim.Finalize(&stats);
   }
-  sim.Drain();
-  sim.Finalize(&stats);
 
   if (output != nullptr) {
     for (auto& path : finished) {

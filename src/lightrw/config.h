@@ -83,6 +83,12 @@ struct AcceleratorConfig {
   // (paper Fig. 9; the U250 has 4 channels).
   uint32_t num_instances = 4;
 
+  // Host worker threads simulating the instances concurrently (each
+  // instance is an independent shard, so results are bit-identical for
+  // every thread count). 0 = SimThreadPool::DefaultThreads(), i.e. the
+  // LIGHTRW_SIM_THREADS environment or the tools' --threads flag.
+  uint32_t num_threads = 0;
+
   // Latency (cycles) for a step's data to traverse the module pipeline
   // (query controller -> loader -> burst engine -> updater -> sampler).
   uint32_t pipeline_depth_cycles = 24;

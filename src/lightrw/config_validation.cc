@@ -3,6 +3,7 @@
 #include <string>
 
 #include "common/bits.h"
+#include "common/sim_thread_pool.h"
 #include "hwsim/validation.h"
 #include "reliability/fault_injector.h"
 
@@ -47,6 +48,11 @@ Status ValidateConfig(const AcceleratorConfig& config,
   }
   if (config.inflight_queries == 0) {
     return InvalidArgumentError("inflight_queries must be >= 1");
+  }
+  if (config.num_threads > SimThreadPool::kMaxThreads) {
+    return InvalidArgumentError(
+        "num_threads must be <= " +
+        std::to_string(SimThreadPool::kMaxThreads) + " (0 = default)");
   }
   LIGHTRW_RETURN_IF_ERROR(hwsim::ValidateDramConfig(config.dram));
   LIGHTRW_RETURN_IF_ERROR(reliability::ValidateFaultConfig(config.faults));

@@ -7,6 +7,7 @@
 
 #include "common/bits.h"
 #include "common/check.h"
+#include "common/sim_thread_pool.h"
 #include "lightrw/step_sampler.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -44,14 +45,17 @@ void NameInstanceTracks(obs::TraceRecorder* trace, uint32_t pid,
 // One LightRW instance bound to one DRAM channel (paper Fig. 9).
 class Instance {
  public:
+  // `trace` overrides config.trace so a parallel run can hand each
+  // instance a private shard recorder (merged in instance order after
+  // the barrier) instead of contending on one shared recorder.
   Instance(const graph::CsrGraph* graph, const apps::WalkApp* app,
            const AcceleratorConfig& config, uint32_t instance_id,
-           uint64_t seed)
+           uint64_t seed, obs::TraceRecorder* trace)
       : graph_(graph),
         app_(app),
         config_(config),
         instance_id_(instance_id),
-        trace_(config.trace),
+        trace_(trace),
         channel_(config.dram),
         burst_(&channel_, config.burst),
         cache_(MakeVertexCache(config.cache_kind, config.cache_entries)),
@@ -481,6 +485,38 @@ CycleEngine::CycleEngine(const graph::CsrGraph* graph,
   LIGHTRW_CHECK(config.num_instances >= 1);
 }
 
+namespace {
+
+// Folds one instance's counters into the run total. Called in instance
+// order after the parallel barrier so the merged result (including the
+// floating-point latency samples) is independent of thread count.
+void AccumulateStats(const AccelRunStats& part, AccelRunStats* total) {
+  total->queries += part.queries;
+  total->steps += part.steps;
+  total->edges_examined += part.edges_examined;
+  total->dram.requests += part.dram.requests;
+  total->dram.beats += part.dram.beats;
+  total->dram.bytes += part.dram.bytes;
+  total->dram.busy_cycles += part.dram.busy_cycles;
+  total->dram.useful_bytes += part.dram.useful_bytes;
+  total->cache.hits += part.cache.hits;
+  total->cache.misses += part.cache.misses;
+  total->burst.requests += part.burst.requests;
+  total->burst.long_bursts += part.burst.long_bursts;
+  total->burst.short_bursts += part.burst.short_bursts;
+  total->burst.requested_bytes += part.burst.requested_bytes;
+  total->burst.loaded_bytes += part.burst.loaded_bytes;
+  total->stage.info_cycles += part.stage.info_cycles;
+  total->stage.fetch_cycles += part.stage.fetch_cycles;
+  total->stage.sampler_cycles += part.stage.sampler_cycles;
+  total->stage.pipeline_cycles += part.stage.pipeline_cycles;
+  total->prev_refetches += part.prev_refetches;
+  total->reliability.Accumulate(part.reliability);
+  total->query_latency_cycles.Merge(part.query_latency_cycles);
+}
+
+}  // namespace
+
 AccelRunStats CycleEngine::Run(std::span<const WalkQuery> queries,
                                WalkOutput* output) {
   AccelRunStats stats;
@@ -499,14 +535,38 @@ AccelRunStats CycleEngine::Run(std::span<const WalkQuery> queries,
   if (output != nullptr) {
     finished.resize(queries.size());
   }
+
+  // Each instance is an independent shard: private datapath models,
+  // private RNG streams, a private stats slot, and (when tracing) a
+  // private trace shard. Workers write only their own slots, so the run
+  // is bit-identical for every thread count; the metrics registry is
+  // shared but its counters commute and its exposition is key-sorted.
+  const uint32_t threads = SimThreadPool::ResolveThreads(config_.num_threads);
+  std::vector<AccelRunStats> instance_stats(n);
+  std::vector<Cycle> instance_makespan(n, 0);
+  std::vector<std::unique_ptr<obs::TraceRecorder>> trace_shards(n);
+  SimThreadPool::ParallelFor(threads, n, [&](size_t i) {
+    obs::TraceRecorder* trace = config_.trace;
+    if (trace != nullptr && n > 1) {
+      trace_shards[i] =
+          std::make_unique<obs::TraceRecorder>(trace->config());
+      trace = trace_shards[i].get();
+    }
+    Instance instance(graph_, app_, config_, static_cast<uint32_t>(i),
+                      config_.seed + 0x1000003ULL * i, trace);
+    instance_makespan[i] =
+        instance.Run(shares[i], share_indices[i],
+                     output != nullptr ? &finished : nullptr,
+                     &instance_stats[i]);
+  });
+
   Cycle makespan = 0;
   for (uint32_t i = 0; i < n; ++i) {
-    Instance instance(graph_, app_, config_, i,
-                      config_.seed + 0x1000003ULL * i);
-    const Cycle end =
-        instance.Run(shares[i], share_indices[i],
-                     output != nullptr ? &finished : nullptr, &stats);
-    makespan = std::max(makespan, end);
+    AccumulateStats(instance_stats[i], &stats);
+    makespan = std::max(makespan, instance_makespan[i]);
+    if (trace_shards[i] != nullptr) {
+      config_.trace->MergeFrom(trace_shards[i].get());
+    }
   }
   if (output != nullptr) {
     for (auto& path : finished) {

@@ -69,6 +69,35 @@ void TraceRecorder::NameTrack(uint32_t pid, uint32_t tid,
   track_names_.emplace_back(pid, tid, name);
 }
 
+void TraceRecorder::MergeFrom(TraceRecorder* shard) {
+  if (shard == nullptr || shard == this) {
+    return;
+  }
+  std::scoped_lock lock(mutex_, shard->mutex_);
+  for (const TraceEvent& event : shard->events_) {
+    if (events_.size() >= config_.max_events) {
+      dropped_events_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      events_.push_back(event);
+    }
+  }
+  dropped_events_.fetch_add(
+      shard->dropped_events_.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  num_events_.store(events_.size(), std::memory_order_relaxed);
+  for (auto& entry : shard->process_names_) {
+    process_names_.push_back(std::move(entry));
+  }
+  for (auto& entry : shard->track_names_) {
+    track_names_.push_back(std::move(entry));
+  }
+  shard->events_.clear();
+  shard->process_names_.clear();
+  shard->track_names_.clear();
+  shard->num_events_.store(0, std::memory_order_relaxed);
+  shard->dropped_events_.store(0, std::memory_order_relaxed);
+}
+
 Json TraceRecorder::ToJson() const {
   std::lock_guard<std::mutex> lock(mutex_);
   Json trace_events = Json::MakeArray();

@@ -63,6 +63,8 @@ class TraceRecorder {
   TraceRecorder(const TraceRecorder&) = delete;
   TraceRecorder& operator=(const TraceRecorder&) = delete;
 
+  const TraceConfig& config() const { return config_; }
+
   // True while the recorder still accepts events; a cheap pre-check so
   // hot loops can skip argument setup once the cap is hit.
   bool accepting() const {
@@ -80,6 +82,14 @@ class TraceRecorder {
   // Human-readable labels for the pid / (pid, tid) tracks.
   void NameProcess(uint32_t pid, const std::string& name);
   void NameTrack(uint32_t pid, uint32_t tid, const std::string& name);
+
+  // Absorbs a shard recorder: appends its events (up to this recorder's
+  // cap; the excess is counted as dropped, as if recorded here), process
+  // and track labels. The parallel engines give each shard a private
+  // recorder and merge the shards in fixed shard order, which reproduces
+  // the exact event sequence a serial run records — without any shared
+  // lock on the simulation hot path. `shard` is left empty.
+  void MergeFrom(TraceRecorder* shard);
 
   size_t num_events() const {
     return num_events_.load(std::memory_order_relaxed);

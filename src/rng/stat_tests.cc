@@ -6,7 +6,9 @@
 
 namespace lightrw::rng {
 
-double StdNormalUpperTail(double z) { return 0.5 * std::erfc(z / std::sqrt(2.0)); }
+double StdNormalUpperTail(double z) {
+  return 0.5 * std::erfc(z / std::sqrt(2.0));
+}
 
 ChiSquareResult ChiSquareTest(std::span<const uint64_t> observed,
                               std::span<const double> expected) {

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <limits>
+#include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 
 #include "common/check.h"
+#include "common/sim_thread_pool.h"
 #include "distributed/config_validation.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -86,6 +89,21 @@ Status ValidateServiceConfig(const ServiceConfig& config) {
     return InvalidArgumentError(
         "service.degrade_shorten_factor must be within (0, 1]");
   }
+  if (config.admission_shards == 0) {
+    return InvalidArgumentError("service.admission_shards must be >= 1");
+  }
+  if (config.admission_shards > 1) {
+    if (!config.cluster.replicate_graph) {
+      return InvalidArgumentError(
+          "service.admission_shards > 1 requires cluster.replicate_graph "
+          "(a shard must be able to serve any vertex on its own boards)");
+    }
+    if (config.cluster.board.faults.enabled) {
+      return InvalidArgumentError(
+          "service.admission_shards > 1 is incompatible with fault "
+          "injection (failover recovery couples boards across shards)");
+    }
+  }
   return Status::Ok();
 }
 
@@ -128,6 +146,15 @@ StatusOr<ServiceRunStats> WalkService::Run(baseline::WalkOutput* output) {
   const BoardId num_boards = partition_->num_boards();
   LIGHTRW_RETURN_IF_ERROR(
       distributed::CheckFailoverSatisfiable(config_.cluster, num_boards));
+  const uint32_t num_shards = config_.admission_shards;
+  if (num_shards > num_boards || num_boards % num_shards != 0) {
+    return InvalidArgumentError(
+        "service.admission_shards (" + std::to_string(num_shards) +
+        ") must evenly divide the board count (" +
+        std::to_string(num_boards) + ")");
+  }
+  const BoardId boards_per_shard =
+      static_cast<BoardId>(num_boards / num_shards);
   auto arrivals_or = GenerateArrivals(config_.arrivals, *graph_);
   if (!arrivals_or.ok()) {
     return arrivals_or.status();
@@ -137,12 +164,8 @@ StatusOr<ServiceRunStats> WalkService::Run(baseline::WalkOutput* output) {
   ServiceRunStats stats;
   stats.offered = arrivals.size();
 
-  const uint32_t max_walkers =
-      num_boards * config_.cluster.inflight_walkers_per_board;
-  ClusterSim sim(graph_, app_, partition_, config_.cluster, max_walkers);
-  sim.set_surface_failures(true);
-
-  // Per-query serving state.
+  // Per-query serving state. Shard s owns exactly the entries with
+  // qi mod num_shards == s, so shards write disjoint slots.
   struct Rec {
     QueryOutcome outcome = QueryOutcome::kPending;
     uint32_t attempts = 0;      // admissions tried (dispatched or bounced)
@@ -153,302 +176,391 @@ StatusOr<ServiceRunStats> WalkService::Run(baseline::WalkOutput* output) {
   };
   std::vector<Rec> recs(arrivals.size());
 
-  // Per-board admission queue + circuit breaker.
-  struct SBoard {
-    std::vector<uint64_t> queue;  // query indices, EDF-popped
-    BreakerState breaker = BreakerState::kClosed;
-    uint32_t consecutive_failures = 0;
-    Cycle open_until = 0;
-    bool probe_inflight = false;  // half-open: one query probes the board
+  // Shard-private totals, merged in shard order after the barrier so the
+  // merged result is independent of how shards interleave in time.
+  struct ShardStats {
+    uint64_t retries = 0;
+    uint64_t breaker_trips = 0;
+    uint64_t deadline_violations = 0;
+    SampleStats queue_delay_cycles;
+    SampleStats latency_cycles;
+    distributed::DistributedRunStats cluster;
   };
-  std::vector<SBoard> sboards(num_boards);
+  std::vector<ShardStats> shard_stats(num_shards);
 
   obs::MetricsRegistry* metrics = config_.cluster.board.metrics;
-  obs::TraceRecorder* trace = config_.cluster.board.trace;
-  if (trace != nullptr) {
-    for (BoardId b = 0; b < num_boards; ++b) {
-      trace->NameTrack(b, kServiceTrack, "service");
-    }
+  obs::TraceRecorder* shared_trace = config_.cluster.board.trace;
+  std::vector<std::unique_ptr<obs::TraceRecorder>> trace_shards(num_shards);
+
+  // Sharding requires replicate_graph, where vertex ownership is never
+  // resolved: the partition only sizes each shard's sim.
+  std::optional<distributed::Partition> shard_partition;
+  if (num_shards > 1) {
+    shard_partition.emplace(
+        std::vector<BoardId>(graph_->num_vertices(), 0), boards_per_shard);
   }
-  auto trace_instant = [&](const char* name, BoardId b, Cycle at) {
-    if (trace != nullptr && trace->accepting()) {
-      trace->Instant(name, "service", b, kServiceTrack, at);
-    }
-  };
 
-  auto shed = [&](uint64_t qi, BoardId b, Cycle at, QueryOutcome outcome) {
-    Rec& r = recs[qi];
-    LIGHTRW_CHECK(r.outcome == QueryOutcome::kPending);
-    r.outcome = outcome;
-    const char* reason = outcome == QueryOutcome::kShedQueueFull
-                             ? "queue_full"
-                         : outcome == QueryOutcome::kShedBreaker
-                             ? "breaker_open"
-                             : "deadline";
-    if (metrics != nullptr) {
-      metrics->GetCounter("service.shed", {{"reason", reason}})
-          ->Increment();
-    }
-    trace_instant("shed", b, at);
-  };
+  // One shard = one full service stack (queues, breakers, retry timers,
+  // ClusterSim) over its board group and arrival subset. With one shard
+  // this is exactly the original single-loop service.
+  auto run_shard = [&](size_t shard) {
+    ShardStats& ss = shard_stats[shard];
+    const BoardId first =
+        static_cast<BoardId>(shard * boards_per_shard);
+    // Global identity of the shard's local board b, for operator-facing
+    // labels (metrics, trace): a sharded run reports like an unsharded
+    // one.
+    auto global = [&](BoardId b) {
+      return static_cast<BoardId>(first + b);
+    };
 
-  // A query that cannot be served right now: re-admit after backoff if
-  // budget remains, otherwise settle its terminal outcome.
-  auto bounce = [&](uint64_t qi, BoardId b, Cycle at, Reject why) {
-    Rec& r = recs[qi];
-    if (r.attempts <= config_.retry_budget) {
-      ++stats.retries;
-      if (metrics != nullptr) {
-        metrics->GetCounter("service.retries")->Increment();
-      }
-      const Cycle backoff = config_.retry_backoff_cycles
-                            << (r.attempts - 1);
-      sim.ScheduleWake(MakeTag(kRetryKind, qi), at + backoff);
-      return;
+    distributed::DistributedConfig cluster_config = config_.cluster;
+    cluster_config.first_board = first;
+    if (shared_trace != nullptr && num_shards > 1) {
+      trace_shards[shard] =
+          std::make_unique<obs::TraceRecorder>(shared_trace->config());
+      cluster_config.board.trace = trace_shards[shard].get();
     }
-    switch (why) {
-      case Reject::kQueueFull:
-        shed(qi, b, at, QueryOutcome::kShedQueueFull);
-        break;
-      case Reject::kBreakerOpen:
-        shed(qi, b, at, QueryOutcome::kShedBreaker);
-        break;
-      case Reject::kWalkFailure:
-        LIGHTRW_CHECK(recs[qi].outcome == QueryOutcome::kPending);
-        recs[qi].outcome = QueryOutcome::kFailed;
-        trace_instant("query_failed", b, at);
-        break;
-    }
-  };
+    obs::TraceRecorder* trace = cluster_config.board.trace;
 
-  // Moves queued queries into free walker slots on board `b`,
-  // earliest-deadline-first, applying degradation by queue congestion.
-  auto dispatch = [&](BoardId b, Cycle at) {
-    SBoard& sb = sboards[b];
-    if (sb.breaker == BreakerState::kOpen) {
-      return;
+    const distributed::Partition* partition =
+        num_shards == 1 ? partition_ : &*shard_partition;
+    const uint32_t max_walkers =
+        boards_per_shard * config_.cluster.inflight_walkers_per_board;
+    ClusterSim sim(graph_, app_, partition, cluster_config, max_walkers);
+    sim.set_surface_failures(true);
+
+    // Per-board admission queue + circuit breaker.
+    struct SBoard {
+      std::vector<uint64_t> queue;  // query indices, EDF-popped
+      BreakerState breaker = BreakerState::kClosed;
+      uint32_t consecutive_failures = 0;
+      Cycle open_until = 0;
+      bool probe_inflight = false;  // half-open: one query probes the board
+    };
+    std::vector<SBoard> sboards(boards_per_shard);
+
+    if (trace != nullptr) {
+      for (BoardId b = 0; b < boards_per_shard; ++b) {
+        trace->NameTrack(global(b), kServiceTrack, "service");
+      }
     }
-    while (!sb.queue.empty() &&
-           sim.InflightOn(b) < config_.cluster.inflight_walkers_per_board &&
-           sim.free_slots() > 0) {
-      if (sb.breaker == BreakerState::kHalfOpen && sb.probe_inflight) {
-        return;  // one probe at a time until the breaker closes
+    auto trace_instant = [&](const char* name, BoardId b, Cycle at) {
+      if (trace != nullptr && trace->accepting()) {
+        trace->Instant(name, "service", global(b), kServiceTrack, at);
       }
-      // EDF: earliest absolute deadline wins; deadline-less queries go
-      // last; arrival order breaks ties.
-      const double fill = static_cast<double>(sb.queue.size()) /
-                          static_cast<double>(config_.queue_capacity);
-      size_t best = 0;
-      Cycle best_deadline = std::numeric_limits<Cycle>::max();
-      uint64_t best_qi = std::numeric_limits<uint64_t>::max();
-      for (size_t i = 0; i < sb.queue.size(); ++i) {
-        const uint64_t qi = sb.queue[i];
-        const Cycle d = arrivals[qi].deadline > 0
-                            ? arrivals[qi].deadline
-                            : std::numeric_limits<Cycle>::max();
-        if (d < best_deadline || (d == best_deadline && qi < best_qi)) {
-          best = i;
-          best_deadline = d;
-          best_qi = qi;
-        }
-      }
-      const uint64_t qi = sb.queue[best];
-      sb.queue.erase(sb.queue.begin() + static_cast<ptrdiff_t>(best));
-      const ServiceQuery& sq = arrivals[qi];
+    };
+
+    auto shed = [&](uint64_t qi, BoardId b, Cycle at, QueryOutcome outcome) {
       Rec& r = recs[qi];
-      // A query whose deadline already passed would only waste the slot.
-      if (sq.deadline > 0 && at >= sq.deadline) {
-        shed(qi, b, at, QueryOutcome::kShedDeadline);
-        continue;
-      }
-      WalkerOptions opts;
-      r.shortened = false;
-      r.uniform = false;
-      if (config_.degrade_enabled && sq.best_effort) {
-        if (fill >= config_.degrade_shorten_occupancy) {
-          opts.max_steps = std::max(
-              1u, static_cast<uint32_t>(
-                      static_cast<double>(sq.query.length) *
-                      config_.degrade_shorten_factor));
-          r.shortened = true;
-        }
-        if (fill >= config_.degrade_uniform_occupancy) {
-          opts.uniform_step = true;
-          r.uniform = true;
-        }
-        if (r.shortened || r.uniform) {
-          if (metrics != nullptr) {
-            metrics
-                ->GetCounter("service.degraded",
-                             {{"tier", r.uniform ? "uniform" : "shorten"}})
-                ->Increment();
-          }
-          trace_instant("degrade", b, at);
-        }
-      }
-      const Cycle delay = at - r.admitted_at;
-      stats.queue_delay_cycles.Add(static_cast<double>(delay));
+      LIGHTRW_CHECK(r.outcome == QueryOutcome::kPending);
+      r.outcome = outcome;
+      const char* reason = outcome == QueryOutcome::kShedQueueFull
+                               ? "queue_full"
+                           : outcome == QueryOutcome::kShedBreaker
+                               ? "breaker_open"
+                               : "deadline";
       if (metrics != nullptr) {
-        metrics->GetHistogram("service.queue_delay_cycles")
-            ->Observe(static_cast<double>(delay));
+        metrics->GetCounter("service.shed", {{"reason", reason}})
+            ->Increment();
       }
-      if (sb.breaker == BreakerState::kHalfOpen) {
-        sb.probe_inflight = true;
-      }
-      sim.Launch(qi, sq.query, b, at, opts);
-    }
-  };
+      trace_instant("shed", b, at);
+    };
 
-  // Admission: pick a board, apply breaker + queue backpressure, enqueue.
-  auto admit = [&](uint64_t qi, Cycle at) {
-    Rec& r = recs[qi];
-    ++r.attempts;
-    const ServiceQuery& sq = arrivals[qi];
-    // Routing sees no failure oracle: a dead board is discovered the
-    // same way a sick one is — through failures tripping its breaker.
-    BoardId b;
-    if (config_.cluster.replicate_graph) {
-      // Any board can serve any vertex: join the shortest line among
-      // boards whose breaker admits traffic; ties break low.
-      bool found = false;
-      uint64_t best_load = 0;
-      b = 0;
-      for (BoardId cand = 0; cand < num_boards; ++cand) {
-        if (sboards[cand].breaker == BreakerState::kOpen) {
-          continue;
+    // A query that cannot be served right now: re-admit after backoff if
+    // budget remains, otherwise settle its terminal outcome.
+    auto bounce = [&](uint64_t qi, BoardId b, Cycle at, Reject why) {
+      Rec& r = recs[qi];
+      if (r.attempts <= config_.retry_budget) {
+        ++ss.retries;
+        if (metrics != nullptr) {
+          metrics->GetCounter("service.retries")->Increment();
         }
-        const uint64_t load =
-            sboards[cand].queue.size() + sim.InflightOn(cand);
-        if (!found || load < best_load) {
-          found = true;
-          best_load = load;
-          b = cand;
-        }
-      }
-      if (!found) {
-        bounce(qi, 0, at, Reject::kBreakerOpen);
+        const Cycle backoff = config_.retry_backoff_cycles
+                              << (r.attempts - 1);
+        sim.ScheduleWake(MakeTag(kRetryKind, qi), at + backoff);
         return;
       }
-    } else {
-      // Prefer the partition owner; while its breaker is open, fail
-      // over to a deterministic alternate board (the walker migrates
-      // back to owned territory on its first steps).
-      b = partition_->OwnerOf(sq.query.start);
-      if (sboards[b].breaker == BreakerState::kOpen && num_boards > 1) {
-        const BoardId shift = static_cast<BoardId>(
-            1 + sq.query.start % (num_boards - 1));
-        b = static_cast<BoardId>((b + shift) % num_boards);
+      switch (why) {
+        case Reject::kQueueFull:
+          shed(qi, b, at, QueryOutcome::kShedQueueFull);
+          break;
+        case Reject::kBreakerOpen:
+          shed(qi, b, at, QueryOutcome::kShedBreaker);
+          break;
+        case Reject::kWalkFailure:
+          LIGHTRW_CHECK(recs[qi].outcome == QueryOutcome::kPending);
+          recs[qi].outcome = QueryOutcome::kFailed;
+          trace_instant("query_failed", b, at);
+          break;
       }
-    }
-    SBoard& sb = sboards[b];
-    // Cooldown may have elapsed without the wake having fired yet.
-    if (sb.breaker == BreakerState::kOpen && at >= sb.open_until) {
-      sb.breaker = BreakerState::kHalfOpen;
-      sb.probe_inflight = false;
-    }
-    if (sb.breaker == BreakerState::kOpen) {
-      bounce(qi, b, at, Reject::kBreakerOpen);
-      return;
-    }
-    if (sb.queue.size() >= config_.queue_capacity) {
-      bounce(qi, b, at, Reject::kQueueFull);
-      return;
-    }
-    sb.queue.push_back(qi);
-    r.admitted_at = at;
-    if (metrics != nullptr) {
-      metrics
-          ->GetHistogram("service.queue_depth",
-                         {{"board", std::to_string(b)}})
-          ->Observe(static_cast<double>(sb.queue.size()));
-    }
-    dispatch(b, at);
-  };
+    };
 
-  sim.set_on_retire([&](const WalkerEnd& end,
-                        std::vector<VertexId>&& path) {
-    const uint64_t qi = end.ticket;
-    const BoardId b = end.board;
-    SBoard& sb = sboards[b];
-    Rec& r = recs[qi];
-    const ServiceQuery& sq = arrivals[qi];
-    if (sb.breaker == BreakerState::kHalfOpen && sb.probe_inflight) {
-      sb.probe_inflight = false;  // this retire is the probe's verdict
-    }
-    if (end.Failed()) {
-      ++sb.consecutive_failures;
-      const bool trip =
-          sb.breaker == BreakerState::kHalfOpen ||
-          (sb.breaker == BreakerState::kClosed &&
-           sb.consecutive_failures >= config_.breaker_failure_threshold);
-      if (trip) {
-        sb.breaker = BreakerState::kOpen;
-        sb.open_until = end.at + config_.breaker_cooldown_cycles;
-        ++stats.breaker_trips;
-        if (metrics != nullptr) {
-          metrics->GetCounter("service.breaker_trips",
-                              {{"board", std::to_string(b)}})
-              ->Increment();
+    // Moves queued queries into free walker slots on board `b`,
+    // earliest-deadline-first, applying degradation by queue congestion.
+    auto dispatch = [&](BoardId b, Cycle at) {
+      SBoard& sb = sboards[b];
+      if (sb.breaker == BreakerState::kOpen) {
+        return;
+      }
+      while (!sb.queue.empty() &&
+             sim.InflightOn(b) < config_.cluster.inflight_walkers_per_board &&
+             sim.free_slots() > 0) {
+        if (sb.breaker == BreakerState::kHalfOpen && sb.probe_inflight) {
+          return;  // one probe at a time until the breaker closes
         }
-        trace_instant("breaker_trip", b, end.at);
-        sim.ScheduleWake(MakeTag(kBreakerKind, b), sb.open_until);
-        // Everything still queued behind the tripped board re-routes
-        // (or retries into the cooldown) instead of waiting it out.
-        std::vector<uint64_t> stranded = std::move(sb.queue);
-        sb.queue.clear();
-        for (const uint64_t qj : stranded) {
-          bounce(qj, b, end.at, Reject::kBreakerOpen);
+        // EDF: earliest absolute deadline wins; deadline-less queries go
+        // last; arrival order breaks ties.
+        const double fill = static_cast<double>(sb.queue.size()) /
+                            static_cast<double>(config_.queue_capacity);
+        size_t best = 0;
+        Cycle best_deadline = std::numeric_limits<Cycle>::max();
+        uint64_t best_qi = std::numeric_limits<uint64_t>::max();
+        for (size_t i = 0; i < sb.queue.size(); ++i) {
+          const uint64_t qi = sb.queue[i];
+          const Cycle d = arrivals[qi].deadline > 0
+                              ? arrivals[qi].deadline
+                              : std::numeric_limits<Cycle>::max();
+          if (d < best_deadline || (d == best_deadline && qi < best_qi)) {
+            best = i;
+            best_deadline = d;
+            best_qi = qi;
+          }
+        }
+        const uint64_t qi = sb.queue[best];
+        sb.queue.erase(sb.queue.begin() + static_cast<ptrdiff_t>(best));
+        const ServiceQuery& sq = arrivals[qi];
+        Rec& r = recs[qi];
+        // A query whose deadline already passed would only waste the slot.
+        if (sq.deadline > 0 && at >= sq.deadline) {
+          shed(qi, b, at, QueryOutcome::kShedDeadline);
+          continue;
+        }
+        WalkerOptions opts;
+        r.shortened = false;
+        r.uniform = false;
+        if (config_.degrade_enabled && sq.best_effort) {
+          if (fill >= config_.degrade_shorten_occupancy) {
+            opts.max_steps = std::max(
+                1u, static_cast<uint32_t>(
+                        static_cast<double>(sq.query.length) *
+                        config_.degrade_shorten_factor));
+            r.shortened = true;
+          }
+          if (fill >= config_.degrade_uniform_occupancy) {
+            opts.uniform_step = true;
+            r.uniform = true;
+          }
+          if (r.shortened || r.uniform) {
+            if (metrics != nullptr) {
+              metrics
+                  ->GetCounter("service.degraded",
+                               {{"tier", r.uniform ? "uniform" : "shorten"}})
+                  ->Increment();
+            }
+            trace_instant("degrade", b, at);
+          }
+        }
+        // Shared-registry histograms are fed from the merged per-shard
+        // samples after the barrier (fixed order); only the shard-local
+        // accumulator is touched on the hot path.
+        const Cycle delay = at - r.admitted_at;
+        ss.queue_delay_cycles.Add(static_cast<double>(delay));
+        if (sb.breaker == BreakerState::kHalfOpen) {
+          sb.probe_inflight = true;
+        }
+        sim.Launch(qi, sq.query, b, at, opts);
+      }
+    };
+
+    // Admission: pick a board, apply breaker + queue backpressure, enqueue.
+    auto admit = [&](uint64_t qi, Cycle at) {
+      Rec& r = recs[qi];
+      ++r.attempts;
+      const ServiceQuery& sq = arrivals[qi];
+      // Routing sees no failure oracle: a dead board is discovered the
+      // same way a sick one is — through failures tripping its breaker.
+      BoardId b;
+      if (config_.cluster.replicate_graph) {
+        // Any board can serve any vertex: join the shortest line among
+        // boards whose breaker admits traffic; ties break low.
+        bool found = false;
+        uint64_t best_load = 0;
+        b = 0;
+        for (BoardId cand = 0; cand < boards_per_shard; ++cand) {
+          if (sboards[cand].breaker == BreakerState::kOpen) {
+            continue;
+          }
+          const uint64_t load =
+              sboards[cand].queue.size() + sim.InflightOn(cand);
+          if (!found || load < best_load) {
+            found = true;
+            best_load = load;
+            b = cand;
+          }
+        }
+        if (!found) {
+          bounce(qi, 0, at, Reject::kBreakerOpen);
+          return;
+        }
+      } else {
+        // Prefer the partition owner; while its breaker is open, fail
+        // over to a deterministic alternate board (the walker migrates
+        // back to owned territory on its first steps). Partitioned mode
+        // implies a single shard, so the shard sees every board.
+        b = partition_->OwnerOf(sq.query.start);
+        if (sboards[b].breaker == BreakerState::kOpen &&
+            boards_per_shard > 1) {
+          const BoardId shift = static_cast<BoardId>(
+              1 + sq.query.start % (boards_per_shard - 1));
+          b = static_cast<BoardId>((b + shift) % boards_per_shard);
         }
       }
-      bounce(qi, b, end.at, Reject::kWalkFailure);
-    } else {
-      sb.consecutive_failures = 0;
-      if (sb.breaker == BreakerState::kHalfOpen) {
-        sb.breaker = BreakerState::kClosed;  // probe succeeded
+      SBoard& sb = sboards[b];
+      // Cooldown may have elapsed without the wake having fired yet.
+      if (sb.breaker == BreakerState::kOpen && at >= sb.open_until) {
+        sb.breaker = BreakerState::kHalfOpen;
+        sb.probe_inflight = false;
       }
-      LIGHTRW_CHECK(r.outcome == QueryOutcome::kPending);
-      r.outcome = QueryOutcome::kCompleted;
-      r.path = std::move(path);
-      const Cycle latency = end.at - sq.arrival;
-      stats.latency_cycles.Add(static_cast<double>(latency));
+      if (sb.breaker == BreakerState::kOpen) {
+        bounce(qi, b, at, Reject::kBreakerOpen);
+        return;
+      }
+      if (sb.queue.size() >= config_.queue_capacity) {
+        bounce(qi, b, at, Reject::kQueueFull);
+        return;
+      }
+      sb.queue.push_back(qi);
+      r.admitted_at = at;
       if (metrics != nullptr) {
-        metrics->GetHistogram("service.latency_cycles")
-            ->Observe(static_cast<double>(latency));
+        metrics
+            ->GetHistogram("service.queue_depth",
+                           {{"board", std::to_string(global(b))}})
+            ->Observe(static_cast<double>(sb.queue.size()));
       }
-      if (sq.deadline > 0 && end.at > sq.deadline) {
-        ++stats.deadline_violations;
-      }
-    }
-    dispatch(b, end.at);
-  });
+      dispatch(b, at);
+    };
 
-  sim.set_on_wake([&](uint64_t tag, Cycle at) {
-    const uint64_t kind = tag >> kTagKindShift;
-    const uint64_t payload = tag & kTagPayloadMask;
-    switch (kind) {
-      case kArrivalKind:
-      case kRetryKind:
-        admit(payload, at);
-        break;
-      case kBreakerKind: {
-        SBoard& sb = sboards[payload];
-        if (sb.breaker == BreakerState::kOpen && at >= sb.open_until) {
-          sb.breaker = BreakerState::kHalfOpen;
-          sb.probe_inflight = false;
-          dispatch(static_cast<BoardId>(payload), at);
+    sim.set_on_retire([&](const WalkerEnd& end,
+                          std::vector<VertexId>&& path) {
+      const uint64_t qi = end.ticket;
+      const BoardId b = end.board;
+      SBoard& sb = sboards[b];
+      Rec& r = recs[qi];
+      const ServiceQuery& sq = arrivals[qi];
+      if (sb.breaker == BreakerState::kHalfOpen && sb.probe_inflight) {
+        sb.probe_inflight = false;  // this retire is the probe's verdict
+      }
+      if (end.Failed()) {
+        ++sb.consecutive_failures;
+        const bool trip =
+            sb.breaker == BreakerState::kHalfOpen ||
+            (sb.breaker == BreakerState::kClosed &&
+             sb.consecutive_failures >= config_.breaker_failure_threshold);
+        if (trip) {
+          sb.breaker = BreakerState::kOpen;
+          sb.open_until = end.at + config_.breaker_cooldown_cycles;
+          ++ss.breaker_trips;
+          if (metrics != nullptr) {
+            metrics->GetCounter("service.breaker_trips",
+                                {{"board", std::to_string(global(b))}})
+                ->Increment();
+          }
+          trace_instant("breaker_trip", b, end.at);
+          sim.ScheduleWake(MakeTag(kBreakerKind, b), sb.open_until);
+          // Everything still queued behind the tripped board re-routes
+          // (or retries into the cooldown) instead of waiting it out.
+          std::vector<uint64_t> stranded = std::move(sb.queue);
+          sb.queue.clear();
+          for (const uint64_t qj : stranded) {
+            bounce(qj, b, end.at, Reject::kBreakerOpen);
+          }
         }
-        break;
+        bounce(qi, b, end.at, Reject::kWalkFailure);
+      } else {
+        sb.consecutive_failures = 0;
+        if (sb.breaker == BreakerState::kHalfOpen) {
+          sb.breaker = BreakerState::kClosed;  // probe succeeded
+        }
+        LIGHTRW_CHECK(r.outcome == QueryOutcome::kPending);
+        r.outcome = QueryOutcome::kCompleted;
+        r.path = std::move(path);
+        const Cycle latency = end.at - sq.arrival;
+        ss.latency_cycles.Add(static_cast<double>(latency));
+        if (sq.deadline > 0 && end.at > sq.deadline) {
+          ++ss.deadline_violations;
+        }
       }
-      default:
-        LIGHTRW_CHECK(false);
-    }
-  });
+      dispatch(b, end.at);
+    });
 
-  for (uint64_t i = 0; i < arrivals.size(); ++i) {
-    sim.ScheduleWake(MakeTag(kArrivalKind, i), arrivals[i].arrival);
+    sim.set_on_wake([&](uint64_t tag, Cycle at) {
+      const uint64_t kind = tag >> kTagKindShift;
+      const uint64_t payload = tag & kTagPayloadMask;
+      switch (kind) {
+        case kArrivalKind:
+        case kRetryKind:
+          admit(payload, at);
+          break;
+        case kBreakerKind: {
+          SBoard& sb = sboards[payload];
+          if (sb.breaker == BreakerState::kOpen && at >= sb.open_until) {
+            sb.breaker = BreakerState::kHalfOpen;
+            sb.probe_inflight = false;
+            dispatch(static_cast<BoardId>(payload), at);
+          }
+          break;
+        }
+        default:
+          LIGHTRW_CHECK(false);
+      }
+    });
+
+    for (uint64_t i = shard; i < arrivals.size(); i += num_shards) {
+      sim.ScheduleWake(MakeTag(kArrivalKind, i), arrivals[i].arrival);
+    }
+    sim.Drain();
+    sim.Finalize(&ss.cluster);
+  };  // run_shard
+
+  const uint32_t threads =
+      SimThreadPool::ResolveThreads(config_.cluster.num_threads);
+  SimThreadPool::ParallelFor(threads, num_shards, run_shard);
+
+  // Merge in shard order: sums, sample appends, and trace interleaving
+  // are all fixed by the shard decomposition, never by thread timing.
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    ShardStats& ss = shard_stats[s];
+    stats.retries += ss.retries;
+    stats.breaker_trips += ss.breaker_trips;
+    stats.deadline_violations += ss.deadline_violations;
+    stats.queue_delay_cycles.Merge(ss.queue_delay_cycles);
+    stats.latency_cycles.Merge(ss.latency_cycles);
+    stats.cluster.Accumulate(ss.cluster);
+    if (trace_shards[s] != nullptr) {
+      shared_trace->MergeFrom(trace_shards[s].get());
+    }
   }
-  sim.Drain();
-  sim.Finalize(&stats.cluster);
+  stats.cluster.seconds = static_cast<double>(stats.cluster.cycles) /
+                          config_.cluster.board.dram.clock_hz;
+  // Deferred shared-registry histograms: replay the merged samples so
+  // the exposition (including its order-sensitive float sum) matches a
+  // single-shard, single-thread run byte for byte.
+  if (metrics != nullptr) {
+    if (stats.queue_delay_cycles.count() > 0) {
+      obs::Histogram* h =
+          metrics->GetHistogram("service.queue_delay_cycles");
+      for (const double v : stats.queue_delay_cycles.raw_samples()) {
+        h->Observe(v);
+      }
+    }
+    if (stats.latency_cycles.count() > 0) {
+      obs::Histogram* h = metrics->GetHistogram("service.latency_cycles");
+      for (const double v : stats.latency_cycles.raw_samples()) {
+        h->Observe(v);
+      }
+    }
+  }
 
   // Settle the books: every query has exactly one terminal outcome.
   outcomes_.clear();

@@ -65,6 +65,15 @@ struct ServiceConfig {
   double degrade_shorten_occupancy = 0.5;
   double degrade_uniform_occupancy = 0.75;
   double degrade_shorten_factor = 0.5;
+  // Independent admission shards, each owning an equal board group plus
+  // the arrival subset {i : i mod shards == shard} and its own queues,
+  // breakers, and retry timers. Shards share nothing while running and
+  // merge in shard order, so results are fixed by this value alone (the
+  // thread count only schedules shards; see common/sim_thread_pool.h).
+  // Values > 1 require replicate_graph (any shard can serve any vertex)
+  // and no fault injection (failover couples boards), and must divide
+  // the board count evenly. 1 = the single global event loop.
+  uint32_t admission_shards = 1;
 };
 
 // Non-OK for out-of-range fields (each named in the message). Also

@@ -233,8 +233,10 @@ TEST(DistributedEngineTest, DeterministicPerSeed) {
   StaticWalkApp app;
   const Partition p = MakePartition(g, 2, PartitionStrategy::kRange);
   const auto queries = apps::MakeVertexQueries(g, 6, 3, 200);
-  const auto a = DistributedEngine(&g, &app, &p, TestConfig()).Run(queries).value();
-  const auto b = DistributedEngine(&g, &app, &p, TestConfig()).Run(queries).value();
+  const auto a =
+      DistributedEngine(&g, &app, &p, TestConfig()).Run(queries).value();
+  const auto b =
+      DistributedEngine(&g, &app, &p, TestConfig()).Run(queries).value();
   EXPECT_EQ(a.cycles, b.cycles);
   EXPECT_EQ(a.steps, b.steps);
   EXPECT_EQ(a.migrations, b.migrations);

@@ -37,10 +37,13 @@ TEST(PowerModelTest, CpuWithinPaperRange) {
 
 TEST(PowerModelTest, LargerGraphsDrawMorePower) {
   PowerModel model;
-  const uint64_t small = graph::GetDatasetInfo(graph::Dataset::kYoutube).num_edges;
-  const uint64_t large = graph::GetDatasetInfo(graph::Dataset::kUk2002).num_edges;
+  const uint64_t small =
+      graph::GetDatasetInfo(graph::Dataset::kYoutube).num_edges;
+  const uint64_t large =
+      graph::GetDatasetInfo(graph::Dataset::kUk2002).num_edges;
   EXPECT_LT(model.CpuWatts(small, false), model.CpuWatts(large, false));
-  EXPECT_LT(model.FpgaWatts(4, small, false), model.FpgaWatts(4, large, false));
+  EXPECT_LT(model.FpgaWatts(4, small, false),
+            model.FpgaWatts(4, large, false));
 }
 
 TEST(PcieModelTest, TransferSecondsScaleWithBytes) {

@@ -75,8 +75,9 @@ TEST(UniformCycleEngineTest, TouchesOneRecordPerStep) {
   apps::StaticWalkApp app;
   CycleEngine lightrw(&g, &app, TestConfig());
   const auto lightrw_stats = lightrw.Run(queries);
-  EXPECT_GT(lightrw_stats.dram.bytes / std::max<uint64_t>(1, lightrw_stats.steps),
-            stats.dram.bytes / std::max<uint64_t>(1, stats.steps));
+  EXPECT_GT(
+      lightrw_stats.dram.bytes / std::max<uint64_t>(1, lightrw_stats.steps),
+      stats.dram.bytes / std::max<uint64_t>(1, stats.steps));
 }
 
 TEST(UniformCycleEngineTest, FasterThanGeneralEngineOnUniformWalks) {
