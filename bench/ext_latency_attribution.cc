@@ -1,0 +1,256 @@
+// Extension experiment (observability): per-component latency
+// attribution under load and faults. Sweeps offered load (as a multiple
+// of calibrated batch capacity) against the uncorrectable-ECC fault
+// rate, records every query's span tree, and reports where the cycles
+// of breached queries went: per-component p99 over all queries plus the
+// dominant-component tally of the breach report, with the number of SLO
+// burn-rate alert firings.
+//
+// Expected shape: fault-free overload is dominated by queue_wait (the
+// admission queue is the bottleneck); injected DRAM faults shift the
+// dominant component toward dram_fetch/backoff (failed walks burn their
+// deadline in retries); burn alerts fire only in the overloaded or
+// faulty cells.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "distributed/dist_engine.h"
+#include "distributed/partition.h"
+#include "obs/critical_path.h"
+#include "obs/span.h"
+#include "service/walk_service.h"
+
+namespace lightrw::bench {
+namespace {
+
+using distributed::DistributedEngine;
+using distributed::MakePartition;
+using distributed::Partition;
+using distributed::PartitionStrategy;
+using obs::AnalyzeCriticalPaths;
+using obs::AttributionReport;
+using obs::BurnRateConfig;
+using obs::ComputeBurnAlerts;
+using obs::SpanRecorder;
+using service::ServiceConfig;
+using service::ServiceRunStats;
+using service::WalkService;
+
+constexpr uint32_t kBoards = 2;
+constexpr uint32_t kInflightPerBoard = 8;
+constexpr uint32_t kWalkLength = 16;
+constexpr uint64_t kNumQueries = 512;
+
+struct Row {
+  double load_multiple = 0.0;
+  double fault_rate = 0.0;
+  uint64_t offered = 0;
+  uint64_t completed = 0;
+  uint64_t shed = 0;
+  uint64_t failed = 0;
+  uint64_t violations = 0;
+  uint64_t breached = 0;
+  uint64_t analyzed = 0;
+  uint64_t burn_alert_firings = 0;
+  std::array<uint64_t, obs::kNumComponents> dominant_counts{};
+  std::array<double, obs::kNumComponents> p99_cycles{};
+};
+
+std::vector<Row>& Rows() {
+  static auto* rows = new std::vector<Row>();
+  return *rows;
+}
+
+ServiceConfig ServiceBase() {
+  ServiceConfig config;
+  config.cluster.board = DefaultAccelConfig();
+  config.cluster.board.num_instances = 1;
+  config.cluster.inflight_walkers_per_board = kInflightPerBoard;
+  config.queue_capacity = 8;
+  config.retry_budget = 1;
+  config.retry_backoff_cycles = 256;
+  config.arrivals.seed = kBenchSeed;
+  config.arrivals.num_queries = kNumQueries;
+  config.arrivals.walk_length = kWalkLength;
+  return config;
+}
+
+// Closed-loop batch capacity of the same cluster (queries per 1024
+// cycles), the reference the load multiples are expressed against.
+double CapacityPerKcycle() {
+  static double capacity = [] {
+    const graph::CsrGraph& g = StandIn(graph::Dataset::kLiveJournal);
+    const apps::StaticWalkApp app;
+    const Partition partition =
+        MakePartition(g, kBoards, PartitionStrategy::kHash);
+    const ServiceConfig base = ServiceBase();
+    DistributedEngine engine(&g, &app, &partition, base.cluster);
+    const auto queries = StandardQueries(g, kWalkLength, kNumQueries);
+    const auto stats = engine.Run(queries).value();
+    return static_cast<double>(stats.queries) * 1024.0 /
+           static_cast<double>(stats.cycles);
+  }();
+  return capacity;
+}
+
+// Deadline just above the unloaded p99: queueing or retries make walks
+// late, so attribution has breaches to explain in the loaded cells.
+uint64_t CalibratedDeadline() {
+  static uint64_t deadline = [] {
+    const graph::CsrGraph& g = StandIn(graph::Dataset::kLiveJournal);
+    const apps::StaticWalkApp app;
+    const Partition partition =
+        MakePartition(g, kBoards, PartitionStrategy::kHash);
+    ServiceConfig config = ServiceBase();
+    config.arrivals.rate_per_kcycle = 0.25 * CapacityPerKcycle();
+    WalkService walk_service(&g, &app, &partition, config);
+    ServiceRunStats stats = walk_service.Run().value();
+    return static_cast<uint64_t>(1.3 *
+                                 stats.latency_cycles.Quantile(0.99));
+  }();
+  return deadline;
+}
+
+void LatencyAttributionBench(benchmark::State& state, double load_multiple,
+                             double fault_rate) {
+  const graph::CsrGraph& g = StandIn(graph::Dataset::kLiveJournal);
+  const apps::StaticWalkApp app;
+  const Partition partition =
+      MakePartition(g, kBoards, PartitionStrategy::kHash);
+
+  ServiceConfig config = ServiceBase();
+  config.arrivals.rate_per_kcycle = load_multiple * CapacityPerKcycle();
+  config.arrivals.deadline_cycles = CalibratedDeadline();
+  if (fault_rate > 0.0) {
+    config.cluster.board.faults.enabled = true;
+    config.cluster.board.faults.seed = kBenchSeed;
+    config.cluster.board.faults.dram_uncorrectable_rate = fault_rate;
+    // First uncorrectable hit fails the access (and so the walk): the
+    // sweep is about where failed attempts spend their latency, not
+    // about the ECC retry ladder.
+    config.cluster.board.faults.max_dram_retries = 0;
+  }
+
+  Row row;
+  row.load_multiple = load_multiple;
+  row.fault_rate = fault_rate;
+  for (auto _ : state) {
+    SpanRecorder spans;
+    config.cluster.board.spans = &spans;
+    WalkService walk_service(&g, &app, &partition, config);
+    const auto result = walk_service.Run();
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    const ServiceRunStats& stats = *result;
+    row.offered = stats.offered;
+    row.completed = stats.completed;
+    row.shed = stats.Shed();
+    row.failed = stats.failed;
+    row.violations = stats.deadline_violations;
+
+    const AttributionReport report = AnalyzeCriticalPaths(spans);
+    row.breached = report.breached_count;
+    row.analyzed = report.queries_analyzed;
+    row.dominant_counts = report.dominant_counts;
+    for (size_t c = 0; c < obs::kNumComponents; ++c) {
+      if (report.component_cycles[c].count() > 0) {
+        row.p99_cycles[c] = report.component_cycles[c].Quantile(0.99);
+      }
+    }
+    BurnRateConfig burn;
+    burn.budget = 0.05;
+    for (const auto& alert : ComputeBurnAlerts(spans.Summaries(), burn)) {
+      row.burn_alert_firings += alert.firing ? 1 : 0;
+    }
+  }
+  state.counters["breached"] = static_cast<double>(row.breached);
+  state.counters["burn_alert_firings"] =
+      static_cast<double>(row.burn_alert_firings);
+  Rows().push_back(row);
+}
+
+void RegisterAll() {
+  const double kMultiples[] = {0.5, 1.0, 2.0};
+  const double kFaultRates[] = {0.0, 2e-3};
+  for (const double multiple : kMultiples) {
+    for (const double fault_rate : kFaultRates) {
+      const std::string name =
+          "ExtLatencyAttribution/load:" + FormatDouble(multiple, 2) +
+          "/faults:" + FormatDouble(fault_rate, 4);
+      benchmark::RegisterBenchmark(
+          name.c_str(), [multiple, fault_rate](benchmark::State& st) {
+            LatencyAttributionBench(st, multiple, fault_rate);
+          })
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+void PrintSummary() {
+  PrintReportHeader(
+      "Extension: latency attribution (offered load x fault rate; "
+      "dominant components of breached queries and per-component p99)");
+  const std::vector<int> widths = {6, 8, 6, 6, 6, 6, 8, 22, 8};
+  PrintRow({"load", "faults", "done", "shed", "fail", "late", "breached",
+            "top dominant", "alerts"},
+           widths);
+  for (const Row& row : Rows()) {
+    size_t top = 0;
+    for (size_t c = 1; c < obs::kNumComponents; ++c) {
+      if (row.dominant_counts[c] > row.dominant_counts[top]) {
+        top = c;
+      }
+    }
+    const std::string top_label =
+        row.breached == 0 ? "-"
+                          : std::string(obs::ComponentName(top)) + " x" +
+                                std::to_string(row.dominant_counts[top]);
+    PrintRow({FormatDouble(row.load_multiple, 2),
+              FormatDouble(row.fault_rate, 4), std::to_string(row.completed),
+              std::to_string(row.shed), std::to_string(row.failed),
+              std::to_string(row.violations), std::to_string(row.breached),
+              top_label, std::to_string(row.burn_alert_firings)},
+             widths);
+  }
+
+  obs::Json rows = obs::Json::MakeArray();
+  for (const Row& row : Rows()) {
+    obs::Json r = obs::Json::MakeObject();
+    r.Set("load_multiple", row.load_multiple);
+    r.Set("fault_rate", row.fault_rate);
+    r.Set("offered", row.offered);
+    r.Set("completed", row.completed);
+    r.Set("shed", row.shed);
+    r.Set("failed", row.failed);
+    r.Set("deadline_violations", row.violations);
+    r.Set("queries_analyzed", row.analyzed);
+    r.Set("breached", row.breached);
+    r.Set("burn_alert_firings", row.burn_alert_firings);
+    for (size_t c = 0; c < obs::kNumComponents; ++c) {
+      r.Set(std::string("dominant_") + obs::ComponentName(c),
+            row.dominant_counts[c]);
+    }
+    for (size_t c = 0; c < obs::kNumComponents; ++c) {
+      r.Set(std::string("p99_") + obs::ComponentName(c) + "_cycles",
+            row.p99_cycles[c]);
+    }
+    rows.Append(std::move(r));
+  }
+  WriteBenchJson("ext_latency_attribution", std::move(rows));
+}
+
+}  // namespace
+}  // namespace lightrw::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  lightrw::bench::RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  lightrw::bench::PrintSummary();
+  benchmark::Shutdown();
+  return 0;
+}

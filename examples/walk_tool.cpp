@@ -28,7 +28,9 @@
 #include "lightrw/cycle_engine.h"
 #include "lightrw/report.h"
 #include "lightrw/functional_engine.h"
+#include "obs/critical_path.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 #include "reliability/fault_injector.h"
 #include "service/walk_service.h"
@@ -162,6 +164,31 @@ int main(int argc, char** argv) {
                "");
   flags.DefineInt("trace-limit", "max trace events kept (0 = disable)",
                   1048576);
+  flags.Define("metrics-format",
+               "metrics snapshot format: json|prometheus (default: by "
+               "--metrics-out suffix, .prom = prometheus)",
+               "");
+  flags.Define("spans-out",
+               "write per-query spans, critical-path attribution, and "
+               "burn-rate alerts as JSON to this file "
+               "(engine=distributed|service)",
+               "");
+  flags.Define("span-mode",
+               "span retention: all|breached (breached = flight recorder: "
+               "keep spans only for deadline-missed/shed/failed queries)",
+               "all");
+  flags.DefineDouble("burn-alert-budget",
+                     "SLO error budget: allowed breach fraction for "
+                     "burn-rate alerting",
+                     0.01);
+  flags.DefineDouble("burn-alert-threshold",
+                     "fire the SLO alert while breach_rate/budget exceeds "
+                     "this in both windows",
+                     2.0);
+  flags.DefineInt("burn-alert-fast-window",
+                  "fast burn-rate window in simulated cycles", 16384);
+  flags.DefineInt("burn-alert-slow-window",
+                  "slow burn-rate window in simulated cycles", 131072);
   flags.DefineInt("boards", "simulated boards (engine=distributed)", 4);
   flags.DefineInt("threads",
                   "host worker threads for sharded simulation (0 = "
@@ -332,6 +359,41 @@ int main(int argc, char** argv) {
   obs::TraceRecorder trace(trace_config);
   const std::string metrics_out = flags.GetString("metrics-out");
   const std::string trace_out = flags.GetString("trace-out");
+  const std::string metrics_format = flags.GetString("metrics-format");
+  if (metrics_format != "" && metrics_format != "json" &&
+      metrics_format != "prometheus") {
+    std::fprintf(stderr,
+                 "unknown metrics format '%s' (expected json|prometheus)\n",
+                 metrics_format.c_str());
+    return 1;
+  }
+
+  // Per-query span tracing (engine=distributed|service): spans drive the
+  // critical-path analyzer and SLO burn-rate monitor after the run.
+  const std::string spans_out = flags.GetString("spans-out");
+  obs::SpanConfig span_config;
+  const std::string span_mode = flags.GetString("span-mode");
+  if (span_mode == "breached") {
+    span_config.mode = obs::SpanMode::kBreached;
+  } else if (span_mode != "all") {
+    std::fprintf(stderr, "unknown span mode '%s' (expected all|breached)\n",
+                 span_mode.c_str());
+    return 1;
+  }
+  obs::SpanRecorder spans(span_config);
+  obs::BurnRateConfig burn_config;
+  burn_config.budget = flags.GetDouble("burn-alert-budget");
+  burn_config.threshold = flags.GetDouble("burn-alert-threshold");
+  burn_config.fast_window_cycles =
+      static_cast<uint64_t>(flags.GetInt("burn-alert-fast-window"));
+  burn_config.slow_window_cycles =
+      static_cast<uint64_t>(flags.GetInt("burn-alert-slow-window"));
+  const Status burn_valid = obs::ValidateBurnRateConfig(burn_config);
+  if (!burn_valid.ok()) {
+    std::fprintf(stderr, "invalid burn-alert configuration: %s\n",
+                 burn_valid.ToString().c_str());
+    return 1;
+  }
   const reliability::FaultConfig faults = FaultsFromFlags(flags);
 
   baseline::WalkOutput corpus;
@@ -411,6 +473,9 @@ int main(int argc, char** argv) {
     if (!trace_out.empty()) {
       config.board.trace = &trace;
     }
+    if (!spans_out.empty()) {
+      config.board.spans = &spans;
+    }
     distributed::DistributedEngine accel(&g, app.get(), &partition, config);
     const auto result = accel.Run(queries, &corpus);
     if (!result.ok()) {
@@ -457,6 +522,9 @@ int main(int argc, char** argv) {
     }
     if (!trace_out.empty()) {
       config.cluster.board.trace = &trace;
+    }
+    if (!spans_out.empty()) {
+      config.cluster.board.spans = &spans;
     }
     config.arrivals.seed = static_cast<uint64_t>(flags.GetInt("seed"));
     config.arrivals.num_queries =
@@ -532,10 +600,44 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  if (!spans_out.empty()) {
+    // Post-run span analysis: per-query critical paths, the breach
+    // report, and the multi-window SLO burn-rate monitor over the
+    // closed-trace summaries (kept for every query in every span mode).
+    const obs::AttributionReport attribution =
+        obs::AnalyzeCriticalPaths(spans);
+    const std::vector<obs::BurnAlert> alerts =
+        obs::ComputeBurnAlerts(spans.Summaries(), burn_config);
+    std::fputs(
+        obs::FormatLatencyAttributionSection(attribution, alerts).c_str(),
+        stdout);
+    if (!trace_out.empty()) {
+      // Fire the alert instants into the Chrome trace so burn-rate
+      // transitions line up with the pipeline timeline in Perfetto.
+      for (const obs::BurnAlert& alert : alerts) {
+        trace.Instant(alert.firing ? "slo_burn_fire" : "slo_burn_clear",
+                      "slo", /*pid=*/0, /*tid=*/0, alert.cycle);
+      }
+    }
+    obs::Json doc = spans.ToJson();
+    doc.Set("attribution", attribution.ToJson());
+    doc.Set("burn_alerts", obs::BurnAlertsToJson(alerts));
+    const Status written = obs::WriteTextFile(doc.Dump(2) + "\n", spans_out);
+    if (!written.ok()) {
+      std::fprintf(stderr, "failed to write spans: %s\n",
+                   written.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %llu closed trace(s) to %s\n",
+                static_cast<unsigned long long>(spans.traces_closed()),
+                spans_out.c_str());
+  }
   if (!metrics_out.empty()) {
-    const bool prometheus = metrics_out.size() > 5 &&
-                            metrics_out.rfind(".prom") ==
-                                metrics_out.size() - 5;
+    const bool prometheus =
+        metrics_format.empty()
+            ? metrics_out.size() > 5 &&
+                  metrics_out.rfind(".prom") == metrics_out.size() - 5
+            : metrics_format == "prometheus";
     const Status written = obs::WriteTextFile(
         prometheus ? metrics.ToPrometheusText() : metrics.ToJsonString(),
         metrics_out);

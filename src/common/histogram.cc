@@ -59,7 +59,14 @@ double SampleStats::Quantile(double q) const {
   if (samples_.size() == 1) {
     return samples_.front();
   }
+  // Hyndman & Fan type 7; see the header for the exact definition.
   const double rank = q * static_cast<double>(samples_.size() - 1);
+  const double nearest = std::round(rank);
+  // Pin exact-quantile boundaries: an integral rank (up to floating-point
+  // noise in q*(n-1)) returns the stored order statistic itself.
+  if (std::abs(rank - nearest) <= 1e-9 * std::max(1.0, nearest)) {
+    return samples_[static_cast<size_t>(nearest)];
+  }
   const size_t lo = static_cast<size_t>(rank);
   const size_t hi = std::min(lo + 1, samples_.size() - 1);
   const double frac = rank - static_cast<double>(lo);

@@ -31,7 +31,16 @@ class SampleStats {
   double Mean() const;
   double Min() const;
   double Max() const;
-  // q in [0, 1] (checked); linear interpolation between closest ranks.
+  // q in [0, 1] (checked). Hyndman & Fan type 7 (the R/NumPy default):
+  // with n sorted samples x[0..n-1], the quantile sits at fractional
+  // rank h = q*(n-1); the result is x[floor(h)] linearly interpolated
+  // toward x[floor(h)+1] by h - floor(h). Exact-quantile boundaries are
+  // pinned: when h lands within 1e-9 (relative) of an integer — e.g.
+  // q = 0.99 over 101 samples, where floating-point can produce
+  // h = 98.999...97 instead of 99 — the exact order statistic x[round(h)]
+  // is returned rather than an interpolation against a neighbor. So
+  // Quantile(0)/Quantile(1) are exactly Min/Max, and any q that maps to
+  // an integral rank returns that stored sample bit-for-bit.
   double Quantile(double q) const;
   double Median() const { return Quantile(0.5); }
   // Population standard deviation.

@@ -7,6 +7,7 @@
 #include "common/bits.h"
 #include "common/check.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 
 namespace lightrw::distributed {
@@ -80,6 +81,17 @@ struct ClusterSim::Walker {
   // only stable once the walker vector stops relocating).
   std::unique_ptr<core::StepSampler> sampler;
   WalkerCheckpoint ckpt;
+  // Per-attempt "walk" span and its cycle-stage attribution. The
+  // accumulators partition the attempt's elapsed cycles by pipeline
+  // stage (attached as span attrs at retire); see
+  // obs/critical_path.h for the component definitions.
+  uint64_t span = 0;
+  uint64_t info_cycles = 0;      // row-index lookups (cache miss -> DRAM)
+  uint64_t fetch_cycles = 0;     // adjacency streaming via the burst engine
+  uint64_t sampler_cycles = 0;   // WRS consume tail past the last data beat
+  uint64_t pipeline_cycles = 0;  // fixed module-pipeline traversal
+  uint64_t network_cycles = 0;   // migration transfer + retransmissions
+  uint64_t recovery_cycles = 0;  // fault detection / failover delay
 };
 
 void DistributedRunStats::Accumulate(const DistributedRunStats& part) {
@@ -236,6 +248,17 @@ void ClusterSim::Launch(uint64_t ticket, const apps::WalkQuery& query,
   w.ckpt.epoch = checkpointing_ ? at / ckpt_interval_ : 0;
   w.ckpt.rng = w.rng;
   w.ckpt.aux = w.aux;
+  w.span = 0;
+  w.info_cycles = 0;
+  w.fetch_cycles = 0;
+  w.sampler_cycles = 0;
+  w.pipeline_cycles = 0;
+  w.network_cycles = 0;
+  w.recovery_cycles = 0;
+  if (obs::SpanRecorder* spans = config_.board.spans) {
+    w.span = spans->Begin(ticket, options.parent_span, "walk", "exec",
+                          GlobalBoard(board), at);
+  }
   ++inflight_[board];
   events_.emplace(at, 0, slot);
 }
@@ -273,8 +296,28 @@ Cycle ClusterSim::LookupInfo(Board& board, Cycle t, VertexId v) {
   return done;
 }
 
+// Attaches the attempt's cycle-stage attribution to its "walk" span and
+// closes it. Attr keys and order are fixed (critical_path.cc keys on
+// them, and a fixed order keeps the export byte-stable).
+void ClusterSim::EndWalkSpan(Walker& w, Cycle at) {
+  obs::SpanRecorder* spans = config_.board.spans;
+  if (spans == nullptr || w.span == 0) {
+    return;
+  }
+  spans->Attr(w.ticket, w.span, "dram_info", w.info_cycles);
+  spans->Attr(w.ticket, w.span, "dram_fetch", w.fetch_cycles);
+  spans->Attr(w.ticket, w.span, "sampler", w.sampler_cycles);
+  spans->Attr(w.ticket, w.span, "pipeline", w.pipeline_cycles);
+  spans->Attr(w.ticket, w.span, "network", w.network_cycles);
+  spans->Attr(w.ticket, w.span, "recovery", w.recovery_cycles);
+  spans->Attr(w.ticket, w.span, "steps", w.state.step);
+  spans->End(w.ticket, w.span, at);
+  w.span = 0;
+}
+
 void ClusterSim::Retire(size_t slot, Cycle at) {
   Walker& w = walkers_[slot];
+  EndWalkSpan(w, at);
   WalkerEnd end;
   end.ticket = w.ticket;
   end.at = at;
@@ -292,6 +335,7 @@ void ClusterSim::Retire(size_t slot, Cycle at) {
 
 void ClusterSim::FailWalker(size_t slot, Cycle at, bool board_lost) {
   Walker& w = walkers_[slot];
+  EndWalkSpan(w, at);
   WalkerEnd end;
   end.ticket = w.ticket;
   end.at = at;
@@ -317,6 +361,7 @@ void ClusterSim::FailWalker(size_t slot, Cycle at, bool board_lost) {
 void ClusterSim::Recover(size_t slot, Cycle at) {
   Walker& w = walkers_[slot];
   obs::TraceRecorder* trace = config_.board.trace;
+  obs::SpanRecorder* spans = config_.board.spans;
   const reliability::FaultConfig& faults = config_.board.faults;
   if (!checkpointing_) {
     ++recovery_rel_.walkers_lost;
@@ -324,6 +369,9 @@ void ClusterSim::Recover(size_t slot, Cycle at) {
     if (trace != nullptr && trace->accepting()) {
       trace->Instant("walker_lost", "fault", GlobalBoard(w.board),
                      kBoardNetTrack, at);
+    }
+    if (spans != nullptr) {
+      spans->Event(w.ticket, w.span, "walker_lost", at);
     }
     Retire(slot, at);
     return;
@@ -339,10 +387,14 @@ void ClusterSim::Recover(size_t slot, Cycle at) {
   const Cycle resume = at + faults.detection_latency_cycles +
                        faults.recovery_cycles_per_walker;
   recovery_rel_.recovery_cycles += resume - at;
+  w.recovery_cycles += resume - at;
   ++recovery_rel_.walkers_recovered;
   if (trace != nullptr && trace->accepting()) {
     trace->Instant("walker_recovered", "fault", GlobalBoard(w.board),
                    kBoardNetTrack, resume);
+  }
+  if (spans != nullptr) {
+    spans->Event(w.ticket, w.span, "walker_recovered", resume);
   }
   events_.emplace(resume, 0, slot);
 }
@@ -350,6 +402,7 @@ void ClusterSim::Recover(size_t slot, Cycle at) {
 void ClusterSim::Step(size_t slot, Cycle now) {
   Walker& w = walkers_[slot];
   obs::TraceRecorder* trace = config_.board.trace;
+  obs::SpanRecorder* spans = config_.board.spans;
   const reliability::FaultConfig& faults = config_.board.faults;
 
   // Board failure: any event landing on the dead board after the failure
@@ -363,7 +416,11 @@ void ClusterSim::Step(size_t slot, Cycle now) {
                        kBoardNetTrack, faults.fail_cycle);
       }
     }
+    if (spans != nullptr) {
+      spans->Event(w.ticket, w.span, "board_failure", now);
+    }
     if (surface_failures_) {
+      w.recovery_cycles += faults.detection_latency_cycles;
       FailWalker(slot, now + faults.detection_latency_cycles,
                  /*board_lost=*/true);
     } else {
@@ -381,13 +438,22 @@ void ClusterSim::Step(size_t slot, Cycle now) {
       Retire(slot, now);
       return;
     }
+    const uint64_t corrected_before = board.rel.dram_correctable;
     Cycle t_info = LookupInfo(board, now, w.state.curr);
     if (wants_prev) {
       t_info = std::max(t_info, LookupInfo(board, now, w.state.prev));
     }
+    w.info_cycles += t_info - now;
+    if (spans != nullptr &&
+        board.rel.dram_correctable > corrected_before) {
+      spans->Event(w.ticket, w.span, "dram_retry", t_info);
+    }
     if (board.channel.TakeAccessFailure()) {
       // Uncorrectable ECC error on the row lookup: the walk cannot
       // continue from corrupt state.
+      if (spans != nullptr) {
+        spans->Event(w.ticket, w.span, "dram_uncorrectable", t_info);
+      }
       if (surface_failures_) {
         FailWalker(slot, t_info, /*board_lost=*/false);
       } else {
@@ -397,6 +463,7 @@ void ClusterSim::Step(size_t slot, Cycle now) {
       return;
     }
     if (graph_->Degree(w.state.curr) == 0) {
+      w.pipeline_cycles += config_.board.pipeline_depth_cycles;
       Retire(slot, t_info + config_.board.pipeline_depth_cycles);
       return;
     }
@@ -407,6 +474,7 @@ void ClusterSim::Step(size_t slot, Cycle now) {
 
   // Phase::kFetch: adjacency stream + sampling on the owner board.
   const uint32_t degree = graph_->Degree(w.state.curr);
+  const uint64_t corrected_before = board.rel.dram_correctable;
   Cycle t_fetch = now;
   if (wants_prev) {
     const uint32_t prev_degree = graph_->Degree(w.state.prev);
@@ -430,6 +498,13 @@ void ClusterSim::Step(size_t slot, Cycle now) {
            : CeilDiv(degree, config_.board.sampler_parallelism));
   const Cycle step_end = std::max(last_data, board.sampler_busy) +
                          config_.board.pipeline_depth_cycles;
+  w.fetch_cycles += last_data - now;
+  w.sampler_cycles +=
+      board.sampler_busy > last_data ? board.sampler_busy - last_data : 0;
+  w.pipeline_cycles += config_.board.pipeline_depth_cycles;
+  if (spans != nullptr && board.rel.dram_correctable > corrected_before) {
+    spans->Event(w.ticket, w.span, "dram_retry", last_data);
+  }
 
   VertexId next;
   if (w.opts.uniform_step) {
@@ -441,6 +516,9 @@ void ClusterSim::Step(size_t slot, Cycle now) {
   if (board.channel.TakeAccessFailure()) {
     // Uncorrectable ECC error in the adjacency stream: the sampled step
     // is based on corrupt data, so the walk fails here.
+    if (spans != nullptr) {
+      spans->Event(w.ticket, w.span, "dram_uncorrectable", step_end);
+    }
     if (surface_failures_) {
       FailWalker(slot, step_end, /*board_lost=*/false);
     } else {
@@ -483,7 +561,14 @@ void ClusterSim::Step(size_t slot, Cycle now) {
         board.link.SendReliable(step_end, config_.walker_message_bytes);
     ++total_migrations_;
     ++board.migrations_out;
+    w.network_cycles += delivery.arrival - step_end;
+    if (spans != nullptr && delivery.attempts > 1) {
+      spans->Event(w.ticket, w.span, "link_retransmit", step_end);
+    }
     if (!delivery.delivered) {
+      if (spans != nullptr) {
+        spans->Event(w.ticket, w.span, "link_loss", delivery.arrival);
+      }
       if (surface_failures_) {
         FailWalker(slot, delivery.arrival, /*board_lost=*/true);
       } else {

@@ -123,6 +123,10 @@ struct WalkerOptions {
   // walks skip the previous-vertex adjacency fetch. Best-effort quality
   // under overload at a fraction of the per-step cost.
   bool uniform_step = false;
+  // Parent span id for the attempt's "walk" span (0 = trace root). Set
+  // by the service layer so per-attempt execution spans nest under the
+  // query's root span; ignored unless config.board.spans is set.
+  uint64_t parent_span = 0;
 };
 
 // Terminal state of one walker attempt, handed to the retire callback.
@@ -219,6 +223,7 @@ class ClusterSim {
   using Event = std::tuple<hwsim::Cycle, int, uint64_t>;
 
   void Step(size_t slot, hwsim::Cycle now);
+  void EndWalkSpan(Walker& w, hwsim::Cycle at);
   void Retire(size_t slot, hwsim::Cycle at);
   void FailWalker(size_t slot, hwsim::Cycle at, bool board_lost);
   void Recover(size_t slot, hwsim::Cycle at);

@@ -8,6 +8,7 @@
 #include "common/check.h"
 #include "common/sim_thread_pool.h"
 #include "distributed/config_validation.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 
 namespace lightrw::distributed {
@@ -57,8 +58,11 @@ StatusOr<DistributedRunStats> DistributedEngine::Run(
     }
 
     obs::TraceRecorder* shared_trace = config_.board.trace;
+    obs::SpanRecorder* shared_spans = config_.board.spans;
     std::vector<DistributedRunStats> shard_stats(num_boards);
     std::vector<std::unique_ptr<obs::TraceRecorder>> trace_shards(
+        num_boards);
+    std::vector<std::unique_ptr<obs::SpanRecorder>> span_shards(
         num_boards);
     const uint32_t threads =
         SimThreadPool::ResolveThreads(config_.num_threads);
@@ -69,6 +73,13 @@ StatusOr<DistributedRunStats> DistributedEngine::Run(
         trace_shards[b] =
             std::make_unique<obs::TraceRecorder>(shared_trace->config());
         shard_config.board.trace = trace_shards[b].get();
+      }
+      if (shared_spans != nullptr) {
+        // Tickets (= trace ids) are disjoint across shards, so each shard
+        // records privately and merges in shard order below.
+        span_shards[b] =
+            std::make_unique<obs::SpanRecorder>(shared_spans->config());
+        shard_config.board.spans = span_shards[b].get();
       }
       const std::vector<apps::WalkQuery>& share = shard_queries[b];
       const std::vector<size_t>& tickets = shard_tickets[b];
@@ -103,6 +114,9 @@ StatusOr<DistributedRunStats> DistributedEngine::Run(
       stats.Accumulate(shard_stats[b]);
       if (trace_shards[b] != nullptr) {
         shared_trace->MergeFrom(trace_shards[b].get());
+      }
+      if (span_shards[b] != nullptr) {
+        shared_spans->MergeFrom(span_shards[b].get());
       }
     }
     stats.seconds = static_cast<double>(stats.cycles) /

@@ -10,6 +10,7 @@
 
 namespace lightrw::obs {
 class MetricsRegistry;
+class SpanRecorder;
 class TraceRecorder;
 }  // namespace lightrw::obs
 
@@ -113,6 +114,11 @@ struct AcceleratorConfig {
   // trace recorder receives simulated-cycle pipeline events.
   obs::MetricsRegistry* metrics = nullptr;
   obs::TraceRecorder* trace = nullptr;
+  // Per-query span recorder: engines open a "walk" span per walker
+  // attempt (trace id = ticket) carrying cycle-stage attribution attrs
+  // and fault events; the service layer wraps those in query-lifecycle
+  // spans. Same ownership rules as the other sinks.
+  obs::SpanRecorder* spans = nullptr;
 };
 
 }  // namespace lightrw::core

@@ -168,6 +168,13 @@ std::string FormatRunReport(const RunReportInputs& inputs) {
     out += FormatSloSection(*inputs.slo);
   }
 
+  // Latency attribution: only for runs that recorded spans — see
+  // RunReportInputs::latency_attribution.
+  if (inputs.latency_attribution != nullptr &&
+      !inputs.latency_attribution->empty()) {
+    out += *inputs.latency_attribution;
+  }
+
   // Platform models.
   PcieModel pcie;
   const double transfer_s = pcie.TransferSeconds(

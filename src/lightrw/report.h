@@ -54,6 +54,11 @@ struct RunReportInputs {
   // Service-level objectives: appended as a gated section when non-null
   // and non-empty (batch runs keep a byte-identical report).
   const SloSummary* slo = nullptr;
+  // Latency attribution: pre-rendered by
+  // obs::FormatLatencyAttributionSection and appended when non-null and
+  // non-empty, keeping the report independent of the span subsystem
+  // (runs without span recording keep a byte-identical report).
+  const std::string* latency_attribution = nullptr;
 };
 
 // Renders a multi-line report. All inputs must be non-null.

@@ -1,0 +1,299 @@
+#include "obs/critical_path.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <utility>
+
+namespace lightrw::obs {
+
+namespace {
+
+constexpr const char* kComponentNames[kNumComponents] = {
+    "queue_wait", "backoff",  "dram_info", "dram_fetch", "sampler",
+    "pipeline",   "network",  "recovery",  "other",
+};
+
+// Attribute keys a "walk" span carries, in component order (the walk
+// span's own interval is decomposed through these; see cluster_sim.cc).
+struct WalkAttr {
+  const char* key;
+  Component component;
+};
+constexpr WalkAttr kWalkAttrs[] = {
+    {"dram_info", kCompDramInfo}, {"dram_fetch", kCompDramFetch},
+    {"sampler", kCompSampler},    {"pipeline", kCompPipeline},
+    {"network", kCompNetwork},    {"recovery", kCompRecovery},
+};
+
+void Appendf(std::string* out, const char* format, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void Appendf(std::string* out, const char* format, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buf, sizeof(buf), format, args);
+  va_end(args);
+  *out += buf;
+}
+
+}  // namespace
+
+const char* ComponentName(size_t component) {
+  return component < kNumComponents ? kComponentNames[component]
+                                    : "unknown";
+}
+
+AttributionReport AnalyzeCriticalPaths(const SpanRecorder& spans) {
+  AttributionReport report;
+  const std::vector<Span> all = spans.Spans();
+  std::map<uint64_t, const TraceSummary*> summary_of;
+  const std::vector<TraceSummary> summaries = spans.Summaries();
+  for (const TraceSummary& s : summaries) {
+    summary_of[s.trace] = &s;
+  }
+
+  // Spans() is sorted by (trace, seq): walk each trace's contiguous run.
+  for (size_t i = 0; i < all.size();) {
+    const uint64_t trace = all[i].trace;
+    QueryAttribution qa;
+    qa.trace = trace;
+    // The root interval: the parentless span when present (service root
+    // "query" span), else the envelope of the trace's spans (batch
+    // drivers record bare walk spans).
+    uint64_t root_start = all[i].start;
+    uint64_t root_end = all[i].end;
+    bool have_root = false;
+    size_t end = i;
+    while (end < all.size() && all[end].trace == trace) {
+      const Span& span = all[end];
+      if (span.parent == 0 && !have_root) {
+        root_start = span.start;
+        root_end = span.end;
+        have_root = true;
+      } else if (!have_root) {
+        root_start = std::min(root_start, span.start);
+        root_end = std::max(root_end, span.end);
+      }
+      ++end;
+    }
+    for (size_t j = i; j < end; ++j) {
+      const Span& span = all[j];
+      const uint64_t dur = span.end > span.start ? span.end - span.start : 0;
+      if (std::strcmp(span.name, "queue") == 0) {
+        qa.cycles[kCompQueue] += dur;
+      } else if (std::strcmp(span.name, "backoff") == 0) {
+        qa.cycles[kCompBackoff] += dur;
+      } else if (std::strcmp(span.name, "walk") == 0) {
+        for (const auto& [key, value] : span.attrs) {
+          for (const WalkAttr& attr : kWalkAttrs) {
+            if (std::strcmp(key, attr.key) == 0) {
+              qa.cycles[attr.component] += value;
+              break;
+            }
+          }
+        }
+      }
+    }
+    i = end;
+
+    qa.total_cycles = root_end > root_start ? root_end - root_start : 0;
+    uint64_t attributed = 0;
+    for (size_t c = 0; c + 1 < kNumComponents; ++c) {
+      attributed += qa.cycles[c];
+    }
+    qa.cycles[kCompOther] =
+        qa.total_cycles > attributed ? qa.total_cycles - attributed : 0;
+    size_t dominant = 0;
+    for (size_t c = 1; c < kNumComponents; ++c) {
+      if (qa.cycles[c] > qa.cycles[dominant]) {
+        dominant = c;
+      }
+    }
+    qa.dominant = dominant;
+    if (const auto it = summary_of.find(trace); it != summary_of.end()) {
+      qa.breached = it->second->breached;
+      qa.outcome = it->second->outcome;
+    }
+
+    ++report.queries_analyzed;
+    for (size_t c = 0; c < kNumComponents; ++c) {
+      report.component_cycles[c].Add(static_cast<double>(qa.cycles[c]));
+    }
+    if (qa.breached) {
+      ++report.breached_count;
+      ++report.dominant_counts[qa.dominant];
+      report.breached.push_back(std::move(qa));
+    }
+  }
+  return report;
+}
+
+Json AttributionReport::ToJson() const {
+  Json doc = Json::MakeObject();
+  doc.Set("queries_analyzed", queries_analyzed);
+  doc.Set("breached_count", breached_count);
+  Json dominants = Json::MakeObject();
+  for (size_t c = 0; c < kNumComponents; ++c) {
+    dominants.Set(ComponentName(c), dominant_counts[c]);
+  }
+  doc.Set("dominant_counts", std::move(dominants));
+  Json p99 = Json::MakeObject();
+  for (size_t c = 0; c < kNumComponents; ++c) {
+    p99.Set(ComponentName(c), component_cycles[c].count() > 0
+                                  ? component_cycles[c].Quantile(0.99)
+                                  : 0.0);
+  }
+  doc.Set("component_p99_cycles", std::move(p99));
+  Json rows = Json::MakeArray();
+  for (const QueryAttribution& qa : breached) {
+    Json row = Json::MakeObject();
+    row.Set("trace", qa.trace);
+    row.Set("outcome", qa.outcome);
+    row.Set("total_cycles", qa.total_cycles);
+    row.Set("dominant", qa.DominantName());
+    Json components = Json::MakeObject();
+    for (size_t c = 0; c < kNumComponents; ++c) {
+      components.Set(ComponentName(c), qa.cycles[c]);
+    }
+    row.Set("components", std::move(components));
+    rows.Append(std::move(row));
+  }
+  doc.Set("breached", std::move(rows));
+  return doc;
+}
+
+Status ValidateBurnRateConfig(const BurnRateConfig& config) {
+  if (!(config.budget > 0.0) || config.budget > 1.0) {
+    return InvalidArgumentError("burn.budget must be within (0, 1]");
+  }
+  if (!(config.threshold > 0.0)) {
+    return InvalidArgumentError("burn.threshold must be > 0");
+  }
+  if (config.fast_window_cycles == 0 || config.slow_window_cycles == 0) {
+    return InvalidArgumentError("burn windows must be > 0 cycles");
+  }
+  if (config.fast_window_cycles > config.slow_window_cycles) {
+    return InvalidArgumentError(
+        "burn.fast_window_cycles must be <= slow_window_cycles");
+  }
+  return Status::Ok();
+}
+
+std::vector<BurnAlert> ComputeBurnAlerts(
+    const std::vector<TraceSummary>& summaries,
+    const BurnRateConfig& config) {
+  std::vector<TraceSummary> events = summaries;
+  std::sort(events.begin(), events.end(),
+            [](const TraceSummary& a, const TraceSummary& b) {
+              return a.end != b.end ? a.end < b.end : a.trace < b.trace;
+            });
+
+  // One sliding window: counts terminal events in (now - window, now].
+  struct Window {
+    uint64_t width;
+    std::deque<std::pair<uint64_t, bool>> events;  // (cycle, breached)
+    uint64_t bad = 0;
+    double Burn(uint64_t now, double budget) {
+      while (!events.empty() && events.front().first + width <= now) {
+        bad -= events.front().second ? 1 : 0;
+        events.pop_front();
+      }
+      if (events.empty()) {
+        return 0.0;
+      }
+      const double rate = static_cast<double>(bad) /
+                          static_cast<double>(events.size());
+      return rate / budget;
+    }
+    void Add(uint64_t now, bool breached) {
+      events.emplace_back(now, breached);
+      bad += breached ? 1 : 0;
+    }
+  };
+  Window fast{config.fast_window_cycles, {}, 0};
+  Window slow{config.slow_window_cycles, {}, 0};
+
+  std::vector<BurnAlert> alerts;
+  bool firing = false;
+  for (const TraceSummary& event : events) {
+    fast.Add(event.end, event.breached);
+    slow.Add(event.end, event.breached);
+    const double fast_burn = fast.Burn(event.end, config.budget);
+    const double slow_burn = slow.Burn(event.end, config.budget);
+    const bool now_firing =
+        fast_burn > config.threshold && slow_burn > config.threshold;
+    if (now_firing != firing) {
+      firing = now_firing;
+      alerts.push_back(BurnAlert{event.end, firing, fast_burn, slow_burn});
+    }
+  }
+  return alerts;
+}
+
+Json BurnAlertsToJson(const std::vector<BurnAlert>& alerts) {
+  Json rows = Json::MakeArray();
+  for (const BurnAlert& alert : alerts) {
+    Json row = Json::MakeObject();
+    row.Set("cycle", alert.cycle);
+    row.Set("state", alert.firing ? "fired" : "cleared");
+    row.Set("fast_burn", alert.fast_burn);
+    row.Set("slow_burn", alert.slow_burn);
+    rows.Append(std::move(row));
+  }
+  return rows;
+}
+
+std::string FormatLatencyAttributionSection(
+    const AttributionReport& report, const std::vector<BurnAlert>& alerts) {
+  if (report.queries_analyzed == 0 && alerts.empty()) {
+    return "";
+  }
+  std::string out;
+  Appendf(&out,
+          "latency attribution: %llu quer(ies) analyzed, %llu breached\n",
+          static_cast<unsigned long long>(report.queries_analyzed),
+          static_cast<unsigned long long>(report.breached_count));
+  if (report.breached_count > 0) {
+    out += "  dominant components of breached queries:";
+    for (size_t c = 0; c < kNumComponents; ++c) {
+      if (report.dominant_counts[c] > 0) {
+        Appendf(&out, " %s %llu", ComponentName(c),
+                static_cast<unsigned long long>(report.dominant_counts[c]));
+      }
+    }
+    out += "\n";
+  }
+  if (report.queries_analyzed > 0) {
+    out += "  component p99 over analyzed queries (cycles):";
+    for (size_t c = 0; c < kNumComponents; ++c) {
+      Appendf(&out, " %s %.0f", ComponentName(c),
+              report.component_cycles[c].count() > 0
+                  ? report.component_cycles[c].Quantile(0.99)
+                  : 0.0);
+    }
+    out += "\n";
+  }
+  uint64_t fired = 0;
+  for (const BurnAlert& alert : alerts) {
+    fired += alert.firing ? 1 : 0;
+  }
+  Appendf(&out, "  slo burn-rate alerts: %llu fired",
+          static_cast<unsigned long long>(fired));
+  for (const BurnAlert& alert : alerts) {
+    if (alert.firing) {
+      Appendf(&out, "; first at cycle %llu (fast %.1fx, slow %.1fx)",
+              static_cast<unsigned long long>(alert.cycle),
+              alert.fast_burn, alert.slow_burn);
+      break;
+    }
+  }
+  out += "\n";
+  return out;
+}
+
+}  // namespace lightrw::obs

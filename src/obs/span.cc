@@ -1,0 +1,260 @@
+#include "obs/span.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace lightrw::obs {
+
+uint64_t DeriveSpanId(uint64_t trace, uint64_t seq) {
+  // SplitMix64 finalizer over a golden-ratio combination of the pair.
+  uint64_t x = trace * 0x9e3779b97f4a7c15ULL + seq + 1;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x == 0 ? 1 : x;
+}
+
+SpanRecorder::SpanRecorder(const SpanConfig& config) : config_(config) {}
+
+uint64_t SpanRecorder::Begin(uint64_t trace, uint64_t parent,
+                             const char* name, const char* category,
+                             int64_t board, uint64_t start_cycle) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TraceBuf& buf = open_[trace];
+  if (buf.spans.size() >= config_.max_spans_per_trace) {
+    ++spans_dropped_;
+    return 0;
+  }
+  Span span;
+  span.trace = trace;
+  span.seq = buf.next_seq++;
+  span.id = DeriveSpanId(trace, span.seq);
+  span.parent = parent;
+  span.name = name;
+  span.category = category;
+  span.board = board;
+  span.start = start_cycle;
+  span.end = start_cycle;
+  buf.spans.push_back(std::move(span));
+  return buf.spans.back().id;
+}
+
+Span* SpanRecorder::FindLocked(uint64_t trace, uint64_t id) {
+  if (id == 0) {
+    return nullptr;
+  }
+  auto it = open_.find(trace);
+  if (it == open_.end()) {
+    return nullptr;
+  }
+  for (Span& span : it->second.spans) {
+    if (span.id == id) {
+      return &span;
+    }
+  }
+  return nullptr;
+}
+
+void SpanRecorder::End(uint64_t trace, uint64_t id, uint64_t end_cycle) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (Span* span = FindLocked(trace, id)) {
+    span->end = end_cycle;
+    span->open = false;
+  }
+}
+
+void SpanRecorder::Attr(uint64_t trace, uint64_t id, const char* key,
+                        uint64_t value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (Span* span = FindLocked(trace, id)) {
+    span->attrs.emplace_back(key, value);
+  }
+}
+
+void SpanRecorder::Event(uint64_t trace, uint64_t id, const char* name,
+                         uint64_t cycle) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (Span* span = FindLocked(trace, id)) {
+    span->events.push_back(SpanEvent{name, cycle});
+  }
+}
+
+void SpanRecorder::CloseTrace(uint64_t trace, uint64_t start_cycle,
+                              uint64_t end_cycle, bool breached,
+                              const char* outcome) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++traces_closed_;
+  TraceSummary summary;
+  summary.trace = trace;
+  summary.start = start_cycle;
+  summary.end = end_cycle;
+  summary.breached = breached;
+  summary.outcome = outcome;
+  summaries_.push_back(summary);
+
+  auto it = open_.find(trace);
+  if (it == open_.end()) {
+    return;
+  }
+  const bool keep = config_.mode == SpanMode::kAll || breached;
+  if (keep) {
+    retained_.push_back(std::move(it->second));
+    if (retained_.size() > config_.max_traces) {
+      retained_.pop_front();
+      ++traces_evicted_;
+    }
+  }
+  open_.erase(it);
+}
+
+void SpanRecorder::MergeFrom(SpanRecorder* shard) {
+  if (shard == nullptr || shard == this) {
+    return;
+  }
+  std::scoped_lock lock(mutex_, shard->mutex_);
+  for (auto& [trace, buf] : shard->open_) {
+    open_[trace] = std::move(buf);
+  }
+  shard->open_.clear();
+  for (TraceBuf& buf : shard->retained_) {
+    retained_.push_back(std::move(buf));
+    if (retained_.size() > config_.max_traces) {
+      retained_.pop_front();
+      ++traces_evicted_;
+    }
+  }
+  shard->retained_.clear();
+  summaries_.insert(summaries_.end(), shard->summaries_.begin(),
+                    shard->summaries_.end());
+  shard->summaries_.clear();
+  traces_closed_ += shard->traces_closed_;
+  traces_evicted_ += shard->traces_evicted_;
+  spans_dropped_ += shard->spans_dropped_;
+  shard->traces_closed_ = 0;
+  shard->traces_evicted_ = 0;
+  shard->spans_dropped_ = 0;
+}
+
+std::vector<Span> SpanRecorder::Spans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Span> out;
+  for (const TraceBuf& buf : retained_) {
+    out.insert(out.end(), buf.spans.begin(), buf.spans.end());
+  }
+  for (const auto& [trace, buf] : open_) {
+    out.insert(out.end(), buf.spans.begin(), buf.spans.end());
+  }
+  std::sort(out.begin(), out.end(), [](const Span& a, const Span& b) {
+    return a.trace != b.trace ? a.trace < b.trace : a.seq < b.seq;
+  });
+  return out;
+}
+
+std::vector<TraceSummary> SpanRecorder::Summaries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceSummary> out = summaries_;
+  std::sort(out.begin(), out.end(),
+            [](const TraceSummary& a, const TraceSummary& b) {
+              return a.trace < b.trace;
+            });
+  return out;
+}
+
+size_t SpanRecorder::num_open_traces() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return open_.size();
+}
+
+size_t SpanRecorder::num_retained_traces() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return retained_.size();
+}
+
+uint64_t SpanRecorder::traces_closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return traces_closed_;
+}
+
+uint64_t SpanRecorder::traces_evicted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return traces_evicted_;
+}
+
+uint64_t SpanRecorder::spans_dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_dropped_;
+}
+
+Json SpanRecorder::ToJson() const {
+  Json doc = Json::MakeObject();
+  Json config = Json::MakeObject();
+  config.Set("mode", config_.mode == SpanMode::kAll ? "all" : "breached");
+  config.Set("max_traces", static_cast<uint64_t>(config_.max_traces));
+  config.Set("max_spans_per_trace",
+             static_cast<uint64_t>(config_.max_spans_per_trace));
+  doc.Set("config", std::move(config));
+
+  Json counters = Json::MakeObject();
+  counters.Set("traces_closed", traces_closed());
+  counters.Set("traces_retained",
+               static_cast<uint64_t>(num_retained_traces()));
+  counters.Set("traces_open", static_cast<uint64_t>(num_open_traces()));
+  counters.Set("traces_evicted", traces_evicted());
+  counters.Set("spans_dropped", spans_dropped());
+  doc.Set("counters", std::move(counters));
+
+  Json summaries = Json::MakeArray();
+  for (const TraceSummary& s : Summaries()) {
+    Json j = Json::MakeObject();
+    j.Set("trace", s.trace);
+    j.Set("start", s.start);
+    j.Set("end", s.end);
+    j.Set("breached", s.breached);
+    j.Set("outcome", s.outcome);
+    summaries.Append(std::move(j));
+  }
+  doc.Set("summaries", std::move(summaries));
+
+  Json spans = Json::MakeArray();
+  for (const Span& span : Spans()) {
+    Json j = Json::MakeObject();
+    j.Set("trace", span.trace);
+    j.Set("span", span.id);
+    j.Set("parent", span.parent);
+    j.Set("seq", span.seq);
+    j.Set("name", span.name);
+    j.Set("category", span.category);
+    j.Set("board", span.board);
+    j.Set("start", span.start);
+    j.Set("end", span.end);
+    j.Set("open", span.open);
+    if (!span.attrs.empty()) {
+      Json attrs = Json::MakeObject();
+      for (const auto& [key, value] : span.attrs) {
+        attrs.Set(key, value);
+      }
+      j.Set("attrs", std::move(attrs));
+    }
+    if (!span.events.empty()) {
+      Json events = Json::MakeArray();
+      for (const SpanEvent& event : span.events) {
+        Json e = Json::MakeObject();
+        e.Set("name", event.name);
+        e.Set("at", event.at);
+        events.Append(std::move(e));
+      }
+      j.Set("events", std::move(events));
+    }
+    spans.Append(std::move(j));
+  }
+  doc.Set("spans", std::move(spans));
+  return doc;
+}
+
+std::string SpanRecorder::ToJsonString(int indent) const {
+  return ToJson().Dump(indent);
+}
+
+}  // namespace lightrw::obs

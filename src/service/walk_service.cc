@@ -11,6 +11,7 @@
 #include "common/sim_thread_pool.h"
 #include "distributed/config_validation.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 
 namespace lightrw::service {
@@ -172,6 +173,8 @@ StatusOr<ServiceRunStats> WalkService::Run(baseline::WalkOutput* output) {
     Cycle admitted_at = 0;      // last enqueue cycle
     bool shortened = false;     // degradation applied to the last dispatch
     bool uniform = false;
+    uint64_t root_span = 0;     // "query" span: first admission -> terminal
+    uint64_t queue_span = 0;    // open "queue" span of the current attempt
     std::vector<VertexId> path;
   };
   std::vector<Rec> recs(arrivals.size());
@@ -191,6 +194,8 @@ StatusOr<ServiceRunStats> WalkService::Run(baseline::WalkOutput* output) {
   obs::MetricsRegistry* metrics = config_.cluster.board.metrics;
   obs::TraceRecorder* shared_trace = config_.cluster.board.trace;
   std::vector<std::unique_ptr<obs::TraceRecorder>> trace_shards(num_shards);
+  obs::SpanRecorder* shared_spans = config_.cluster.board.spans;
+  std::vector<std::unique_ptr<obs::SpanRecorder>> span_shards(num_shards);
 
   // Sharding requires replicate_graph, where vertex ownership is never
   // resolved: the partition only sizes each shard's sim.
@@ -222,6 +227,15 @@ StatusOr<ServiceRunStats> WalkService::Run(baseline::WalkOutput* output) {
       cluster_config.board.trace = trace_shards[shard].get();
     }
     obs::TraceRecorder* trace = cluster_config.board.trace;
+    // Spans follow the trace-shard pattern: a private recorder per shard
+    // (traces are disjoint — shard s owns qi mod num_shards == s), merged
+    // in shard order after the barrier.
+    if (shared_spans != nullptr && num_shards > 1) {
+      span_shards[shard] =
+          std::make_unique<obs::SpanRecorder>(shared_spans->config());
+      cluster_config.board.spans = span_shards[shard].get();
+    }
+    obs::SpanRecorder* spans = cluster_config.board.spans;
 
     const distributed::Partition* partition =
         num_shards == 1 ? partition_ : &*shard_partition;
@@ -251,6 +265,24 @@ StatusOr<ServiceRunStats> WalkService::Run(baseline::WalkOutput* output) {
       }
     };
 
+    // Settles a query's trace: closes any still-open queue span and the
+    // root span, then retains-or-discards the spans per the flight
+    // recorder mode. `outcome` must be a string literal.
+    auto close_trace = [&](uint64_t qi, Cycle at, bool breached,
+                           const char* outcome) {
+      if (spans == nullptr) {
+        return;
+      }
+      Rec& r = recs[qi];
+      if (r.queue_span != 0) {
+        spans->End(qi, r.queue_span, at);
+        r.queue_span = 0;
+      }
+      spans->Attr(qi, r.root_span, "attempts", r.attempts);
+      spans->End(qi, r.root_span, at);
+      spans->CloseTrace(qi, arrivals[qi].arrival, at, breached, outcome);
+    };
+
     auto shed = [&](uint64_t qi, BoardId b, Cycle at, QueryOutcome outcome) {
       Rec& r = recs[qi];
       LIGHTRW_CHECK(r.outcome == QueryOutcome::kPending);
@@ -265,12 +297,19 @@ StatusOr<ServiceRunStats> WalkService::Run(baseline::WalkOutput* output) {
             ->Increment();
       }
       trace_instant("shed", b, at);
+      close_trace(qi, at, /*breached=*/true, reason);
     };
 
     // A query that cannot be served right now: re-admit after backoff if
     // budget remains, otherwise settle its terminal outcome.
     auto bounce = [&](uint64_t qi, BoardId b, Cycle at, Reject why) {
       Rec& r = recs[qi];
+      // A stranded queue entry (breaker trip drains the queue) bounces
+      // with its queue span still open; close it at the bounce cycle.
+      if (spans != nullptr && r.queue_span != 0) {
+        spans->End(qi, r.queue_span, at);
+        r.queue_span = 0;
+      }
       if (r.attempts <= config_.retry_budget) {
         ++ss.retries;
         if (metrics != nullptr) {
@@ -278,6 +317,11 @@ StatusOr<ServiceRunStats> WalkService::Run(baseline::WalkOutput* output) {
         }
         const Cycle backoff = config_.retry_backoff_cycles
                               << (r.attempts - 1);
+        if (spans != nullptr) {
+          const uint64_t bs = spans->Begin(qi, r.root_span, "backoff",
+                                           "service", global(b), at);
+          spans->End(qi, bs, at + backoff);
+        }
         sim.ScheduleWake(MakeTag(kRetryKind, qi), at + backoff);
         return;
       }
@@ -292,6 +336,7 @@ StatusOr<ServiceRunStats> WalkService::Run(baseline::WalkOutput* output) {
           LIGHTRW_CHECK(recs[qi].outcome == QueryOutcome::kPending);
           recs[qi].outcome = QueryOutcome::kFailed;
           trace_instant("query_failed", b, at);
+          close_trace(qi, at, /*breached=*/true, "failed");
           break;
       }
     };
@@ -331,12 +376,19 @@ StatusOr<ServiceRunStats> WalkService::Run(baseline::WalkOutput* output) {
         sb.queue.erase(sb.queue.begin() + static_cast<ptrdiff_t>(best));
         const ServiceQuery& sq = arrivals[qi];
         Rec& r = recs[qi];
+        // The attempt leaves the queue here, whether it dispatches or is
+        // shed for a passed deadline.
+        if (spans != nullptr && r.queue_span != 0) {
+          spans->End(qi, r.queue_span, at);
+          r.queue_span = 0;
+        }
         // A query whose deadline already passed would only waste the slot.
         if (sq.deadline > 0 && at >= sq.deadline) {
           shed(qi, b, at, QueryOutcome::kShedDeadline);
           continue;
         }
         WalkerOptions opts;
+        opts.parent_span = r.root_span;
         r.shortened = false;
         r.uniform = false;
         if (config_.degrade_enabled && sq.best_effort) {
@@ -359,6 +411,11 @@ StatusOr<ServiceRunStats> WalkService::Run(baseline::WalkOutput* output) {
                   ->Increment();
             }
             trace_instant("degrade", b, at);
+            if (spans != nullptr) {
+              spans->Event(qi, r.root_span,
+                           r.uniform ? "degrade_uniform" : "degrade_shorten",
+                           at);
+            }
           }
         }
         // Shared-registry histograms are fed from the merged per-shard
@@ -378,6 +435,12 @@ StatusOr<ServiceRunStats> WalkService::Run(baseline::WalkOutput* output) {
       Rec& r = recs[qi];
       ++r.attempts;
       const ServiceQuery& sq = arrivals[qi];
+      // The query's root span opens on first admission (at = arrival) and
+      // stays open across retries until the terminal event closes the
+      // trace.
+      if (spans != nullptr && r.attempts == 1) {
+        r.root_span = spans->Begin(qi, 0, "query", "service", -1, at);
+      }
       // Routing sees no failure oracle: a dead board is discovered the
       // same way a sick one is — through failures tripping its breaker.
       BoardId b;
@@ -432,6 +495,10 @@ StatusOr<ServiceRunStats> WalkService::Run(baseline::WalkOutput* output) {
       }
       sb.queue.push_back(qi);
       r.admitted_at = at;
+      if (spans != nullptr) {
+        r.queue_span =
+            spans->Begin(qi, r.root_span, "queue", "service", global(b), at);
+      }
       if (metrics != nullptr) {
         metrics
             ->GetHistogram("service.queue_depth",
@@ -487,9 +554,12 @@ StatusOr<ServiceRunStats> WalkService::Run(baseline::WalkOutput* output) {
         r.path = std::move(path);
         const Cycle latency = end.at - sq.arrival;
         ss.latency_cycles.Add(static_cast<double>(latency));
-        if (sq.deadline > 0 && end.at > sq.deadline) {
+        const bool late = sq.deadline > 0 && end.at > sq.deadline;
+        if (late) {
           ++ss.deadline_violations;
         }
+        close_trace(qi, end.at, /*breached=*/late,
+                    late ? "deadline_missed" : "completed");
       }
       dispatch(b, end.at);
     });
@@ -539,6 +609,9 @@ StatusOr<ServiceRunStats> WalkService::Run(baseline::WalkOutput* output) {
     stats.cluster.Accumulate(ss.cluster);
     if (trace_shards[s] != nullptr) {
       shared_trace->MergeFrom(trace_shards[s].get());
+    }
+    if (span_shards[s] != nullptr) {
+      shared_spans->MergeFrom(span_shards[s].get());
     }
   }
   stats.cluster.seconds = static_cast<double>(stats.cluster.cycles) /

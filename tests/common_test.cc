@@ -145,6 +145,45 @@ TEST(SampleStatsTest, SortedSamplesAccessor) {
   EXPECT_EQ(stats.sorted_samples(), expected);
 }
 
+TEST(SampleStatsTest, ExactQuantileBoundariesArePinned) {
+  // 101 samples 0..100: under Hyndman-Fan type 7 the rank of quantile q
+  // is q*100, so p50/p99 land exactly on stored order statistics. The
+  // boundary pinning must return those samples bit-for-bit even though
+  // e.g. 0.99 * 100 is not exactly 99.0 in binary floating point.
+  SampleStats stats;
+  for (int i = 100; i >= 0; --i) {
+    stats.Add(static_cast<double>(i));
+  }
+  EXPECT_EQ(stats.Quantile(0.5), 50.0);
+  EXPECT_EQ(stats.Quantile(0.99), 99.0);
+  EXPECT_EQ(stats.Quantile(0.01), 1.0);
+  EXPECT_EQ(stats.Quantile(0.0), stats.Min());
+  EXPECT_EQ(stats.Quantile(1.0), stats.Max());
+}
+
+TEST(SampleStatsTest, MilliQuantileBoundaryOverThousandAndOneSamples) {
+  // 1001 samples: p999 rank is 0.999 * 1000 = 999 exactly — the
+  // second-largest sample, not an interpolation toward the maximum.
+  SampleStats stats;
+  for (int i = 0; i <= 1000; ++i) {
+    stats.Add(static_cast<double>(i));
+  }
+  EXPECT_EQ(stats.Quantile(0.999), 999.0);
+  EXPECT_EQ(stats.Quantile(0.5), 500.0);
+  EXPECT_EQ(stats.Quantile(0.99), 990.0);
+}
+
+TEST(SampleStatsTest, InteriorQuantilesInterpolateLinearly) {
+  // 4 samples: rank h = q*3. q=0.5 -> h=1.5 -> midpoint of x[1], x[2];
+  // q=0.9 -> h=2.7 -> 0.3*x[2] + 0.7*x[3].
+  SampleStats stats;
+  for (const double x : {10.0, 20.0, 30.0, 40.0}) {
+    stats.Add(x);
+  }
+  EXPECT_DOUBLE_EQ(stats.Quantile(0.5), 25.0);
+  EXPECT_DOUBLE_EQ(stats.Quantile(0.9), 37.0);
+}
+
 TEST(SampleStatsTest, QuantileAfterInterleavedAdds) {
   SampleStats stats;
   stats.Add(5.0);

@@ -56,6 +56,49 @@ expect "fault run losing walk data" 1 "$TOOL" --engine distributed \
   --boards 2 --partition hash --rmat_scale 8 --app deepwalk --length 16 \
   --queries 128 --seed 42 --faults --fault-fail-cycle 2000 \
   --fault-fail-board 1 --fault-checkpoint-interval 0
+expect "bad span mode" 1 "$TOOL" --engine service $BASE \
+  --spans-out /tmp/walk_tool_spans_$$.json --span-mode bogus
+expect "bad metrics format" 1 "$TOOL" --engine cpu $BASE \
+  --metrics-out /tmp/walk_tool_metrics_$$.json --metrics-format bogus
+expect "bad burn-alert budget" 1 "$TOOL" --engine service $BASE \
+  --spans-out /tmp/walk_tool_spans_$$.json --burn-alert-budget 0
+expect "bad burn-alert windows" 1 "$TOOL" --engine service $BASE \
+  --spans-out /tmp/walk_tool_spans_$$.json --burn-alert-fast-window 100000 \
+  --burn-alert-slow-window 1000
+expect "unwritable spans path" 1 "$TOOL" --engine service $BASE \
+  --boards 2 --partition hash --service-rate 0.2 \
+  --spans-out /nonexistent-dir/spans.json
+
+# Span output: a service run with --spans-out must write a JSON document
+# covering every offered query.
+SPANS="/tmp/walk_tool_spans_$$.json"
+expect "service run writes spans" 0 "$TOOL" --engine service $BASE \
+  --boards 2 --partition hash --service-rate 0.2 --spans-out "$SPANS" \
+  --span-mode breached
+if [ ! -s "$SPANS" ]; then
+  echo "FAIL: --spans-out did not write $SPANS" >&2
+  fails=$((fails + 1))
+elif ! grep -q '"summaries"' "$SPANS" || ! grep -q '"attribution"' "$SPANS"
+then
+  echo "FAIL: spans JSON missing summaries/attribution sections" >&2
+  fails=$((fails + 1))
+else
+  echo "ok: spans JSON has summaries + attribution"
+fi
+rm -f "$SPANS"
+
+# Metrics format: --metrics-format overrides the extension heuristic.
+PROM="/tmp/walk_tool_metrics_$$.json"
+expect "prometheus metrics format" 0 "$TOOL" --engine cpu $BASE \
+  --metrics-out "$PROM" --metrics-format prometheus
+if ! grep -q '^# TYPE' "$PROM"; then
+  echo "FAIL: --metrics-format prometheus did not write exposition text" >&2
+  fails=$((fails + 1))
+else
+  echo "ok: prometheus metrics format honored"
+fi
+rm -f "$PROM"
+
 expect "service slo breach" 2 "$TOOL" --engine service --rmat_scale 10 \
   --app deepwalk --length 24 --queries 256 --seed 42 --boards 2 \
   --partition hash --service-rate 50.0 --service-deadline 15000 \
