@@ -7,11 +7,19 @@
 //       --queries 10000 --engine lightrw --out corpus.txt  (one line)
 //
 // Fault injection (--fault-*) drives the reliability subsystem: DRAM ECC
-// errors on any simulated engine, plus link faults and board failures on
-// --engine distributed. A run that loses walk data exits non-zero.
+// errors on any simulated engine, plus link faults and board deaths
+// (single or cascading, with hot spares via --spare-boards) on
+// --engine distributed|service. --chaos-scenarios N runs the seeded
+// chaos campaign instead of a single workload.
+//
+// Exit codes: 0 success; 1 usage/configuration/IO error (or a failed
+// chaos scenario); 2 SLO breach (engine=service); 3 partial data (the
+// run completed but lost walks to injected faults).
 
 #include <cstdio>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "analytics/corpus_io.h"
 #include "apps/ppr.h"
@@ -32,7 +40,9 @@
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "obs/trace.h"
+#include "reliability/chaos.h"
 #include "reliability/fault_injector.h"
+#include "reliability/membership.h"
 #include "service/walk_service.h"
 
 namespace {
@@ -80,28 +90,73 @@ bool ParseStrategy(const std::string& name,
   return true;
 }
 
+// Parses a comma-separated list of non-negative integers ("" = empty).
+// False (with a one-line stderr reason) on malformed input.
+bool ParseUintList(const std::string& flag, const std::string& text,
+                   std::vector<uint64_t>* out) {
+  out->clear();
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t end = text.find(',', pos);
+    if (end == std::string::npos) {
+      end = text.size();
+    }
+    const std::string item = text.substr(pos, end - pos);
+    if (item.empty() || item.find_first_not_of("0123456789") !=
+                            std::string::npos) {
+      std::fprintf(stderr, "--%s: '%s' is not a non-negative integer\n",
+                   flag.c_str(), item.c_str());
+      return false;
+    }
+    out->push_back(std::stoull(item));
+    pos = end + 1;
+  }
+  return true;
+}
+
 // Fault schedule from the --fault-* flags. Any non-default fault flag
 // enables the subsystem; otherwise it stays fully disabled and the run
-// is bit-identical to one without it.
-reliability::FaultConfig FaultsFromFlags(const FlagParser& flags) {
-  reliability::FaultConfig faults;
-  faults.seed = static_cast<uint64_t>(flags.GetInt("fault-seed"));
-  faults.dram_correctable_rate = flags.GetDouble("fault-dram-correctable");
-  faults.dram_uncorrectable_rate =
+// is bit-identical to one without it. False on malformed death lists.
+bool FaultsFromFlags(const FlagParser& flags,
+                     reliability::FaultConfig* faults) {
+  faults->seed = static_cast<uint64_t>(flags.GetInt("fault-seed"));
+  faults->dram_correctable_rate = flags.GetDouble("fault-dram-correctable");
+  faults->dram_uncorrectable_rate =
       flags.GetDouble("fault-dram-uncorrectable");
-  faults.link_drop_rate = flags.GetDouble("fault-link-drop");
-  faults.link_corrupt_rate = flags.GetDouble("fault-link-corrupt");
-  faults.fail_cycle = static_cast<uint64_t>(flags.GetInt("fault-fail-cycle"));
-  faults.fail_board =
+  faults->link_drop_rate = flags.GetDouble("fault-link-drop");
+  faults->link_corrupt_rate = flags.GetDouble("fault-link-corrupt");
+  faults->fail_cycle =
+      static_cast<uint64_t>(flags.GetInt("fault-fail-cycle"));
+  faults->fail_board =
       static_cast<uint32_t>(flags.GetInt("fault-fail-board"));
-  faults.checkpoint_interval_cycles =
+  faults->checkpoint_interval_cycles =
       static_cast<uint64_t>(flags.GetInt("fault-checkpoint-interval"));
-  faults.enabled = flags.GetBool("faults") ||
-                   faults.dram_correctable_rate != 0.0 ||
-                   faults.dram_uncorrectable_rate != 0.0 ||
-                   faults.link_drop_rate != 0.0 ||
-                   faults.link_corrupt_rate != 0.0 || faults.fail_cycle > 0;
-  return faults;
+  faults->allow_walker_loss = flags.GetBool("fault-allow-walker-loss");
+  // Cascading deaths: paired comma lists of cycles and board ids.
+  std::vector<uint64_t> cycles, boards;
+  if (!ParseUintList("fault-fail-cycles",
+                     flags.GetString("fault-fail-cycles"), &cycles) ||
+      !ParseUintList("fault-fail-boards",
+                     flags.GetString("fault-fail-boards"), &boards)) {
+    return false;
+  }
+  if (cycles.size() != boards.size()) {
+    std::fprintf(stderr,
+                 "--fault-fail-cycles and --fault-fail-boards must have "
+                 "the same number of entries (got %zu and %zu)\n",
+                 cycles.size(), boards.size());
+    return false;
+  }
+  for (size_t i = 0; i < cycles.size(); ++i) {
+    faults->board_deaths.push_back(
+        {cycles[i], static_cast<uint32_t>(boards[i])});
+  }
+  faults->enabled =
+      flags.GetBool("faults") || faults->dram_correctable_rate != 0.0 ||
+      faults->dram_uncorrectable_rate != 0.0 ||
+      faults->link_drop_rate != 0.0 || faults->link_corrupt_rate != 0.0 ||
+      faults->fail_cycle > 0 || !faults->board_deaths.empty();
+  return true;
 }
 
 void PrintReliabilitySummary(const reliability::ReliabilityStats& rel) {
@@ -121,14 +176,26 @@ void PrintReliabilitySummary(const reliability::ReliabilityStats& rel) {
       static_cast<unsigned long long>(rel.walkers_recovered),
       static_cast<unsigned long long>(rel.walkers_lost),
       static_cast<unsigned long long>(rel.walks_failed));
+  if (rel.spares_activated > 0 || rel.spare_exhaustions > 0) {
+    std::printf(
+        "self-healing: %llu spare(s) activated, %llu rebuild(s) completed "
+        "(%llu aborted, %llu cycle(s) total), %llu spare exhaustion(s)\n",
+        static_cast<unsigned long long>(rel.spares_activated),
+        static_cast<unsigned long long>(rel.rebuilds_completed),
+        static_cast<unsigned long long>(rel.rebuilds_aborted),
+        static_cast<unsigned long long>(rel.rebuild_cycles),
+        static_cast<unsigned long long>(rel.spare_exhaustions));
+  }
 }
 
-// Non-zero exit when the run lost walk data to injected faults.
+// Exit 3 ("partial data") when the run completed but lost walk data to
+// injected faults — distinct from exit 1 (the tool failed to run) so
+// callers can keep the partial corpus knowingly.
 int ReliabilityExitCode(const reliability::ReliabilityStats& rel) {
   const Status status = reliability::ReliabilityStatus(rel);
   if (!status.ok()) {
-    std::fprintf(stderr, "%s\n", status.ToString().c_str());
-    return 1;
+    std::fprintf(stderr, "partial data: %s\n", status.ToString().c_str());
+    return 3;
   }
   return 0;
 }
@@ -268,6 +335,39 @@ int main(int argc, char** argv) {
                   "walker checkpoint cadence in cycles (0 = no "
                   "checkpoints: recovering walkers lose their walk)",
                   65536);
+  flags.Define("fault-fail-cycles",
+               "comma-separated board-death cycles (paired with "
+               "--fault-fail-boards) for cascading failures",
+               "");
+  flags.Define("fault-fail-boards",
+               "comma-separated boards to kill (paired with "
+               "--fault-fail-cycles; ids past --boards name hot spares)",
+               "");
+  flags.DefineBool("fault-allow-walker-loss",
+                   "opt in to walk loss from a scheduled board death "
+                   "with --fault-checkpoint-interval 0",
+                   false);
+  flags.DefineInt("spare-boards",
+                  "hot spare boards that rebuild a dead board's "
+                  "partition share and take over its identity "
+                  "(engine=distributed|service)",
+                  0);
+  flags.DefineDouble("rebuild-bytes-per-cycle",
+                     "partition-rebuild bandwidth in bytes per simulated "
+                     "cycle",
+                     32.0);
+  flags.DefineInt("chaos-scenarios",
+                  "run the seeded chaos campaign with this many "
+                  "scenarios instead of a single workload (0 = off)",
+                  0);
+  flags.DefineInt("chaos-seed", "chaos campaign seed", 1);
+  flags.DefineInt("chaos-spares",
+                  "max hot spares a chaos scenario may configure", 2);
+  flags.Define("chaos-out",
+               "write the chaos campaign report (JSON) to this file", "");
+  flags.Define("chaos-spans-out",
+               "write scenario 0's span + membership JSON to this file",
+               "");
   flags.DefineBool("help", "print usage", false);
 
   const Status parsed = flags.Parse(argc, argv);
@@ -338,6 +438,70 @@ int main(int argc, char** argv) {
     return 1;
   }
   const uint32_t length = static_cast<uint32_t>(raw_length);
+
+  // Chaos campaign: N seeded failure scenarios with machine-checked
+  // invariants, replacing the single-workload run entirely.
+  const int64_t chaos_scenarios = flags.GetInt("chaos-scenarios");
+  if (chaos_scenarios > 0) {
+    const int64_t chaos_boards = flags.GetInt("boards");
+    if (chaos_boards < 2 || chaos_boards > 1024) {
+      std::fprintf(stderr,
+                   "--boards must be in [2, 1024] for a chaos campaign, "
+                   "got %lld\n",
+                   static_cast<long long>(chaos_boards));
+      return 1;
+    }
+    reliability::ChaosConfig chaos;
+    chaos.seed = static_cast<uint64_t>(flags.GetInt("chaos-seed"));
+    chaos.num_scenarios = static_cast<uint32_t>(chaos_scenarios);
+    chaos.num_boards = static_cast<distributed::BoardId>(chaos_boards);
+    chaos.max_spare_boards =
+        static_cast<uint32_t>(flags.GetInt("chaos-spares"));
+    chaos.num_queries =
+        raw_queries > 0 ? static_cast<uint32_t>(raw_queries) : 256;
+    chaos.walk_length = length;
+    const auto campaign =
+        reliability::RunChaosCampaign(g, *app, chaos);
+    if (!campaign.ok()) {
+      std::fprintf(stderr, "chaos campaign failed: %s\n",
+                   campaign.status().ToString().c_str());
+      return 1;
+    }
+    for (const auto& scenario : campaign->scenarios) {
+      std::printf("chaos %-40s %s\n", scenario.name.c_str(),
+                  scenario.passed ? "ok" : "FAIL");
+      for (const std::string& violation : scenario.violations) {
+        std::printf("  violation: %s\n", violation.c_str());
+      }
+    }
+    std::printf("chaos campaign: %zu/%zu scenario(s) passed\n",
+                campaign->scenarios.size() - campaign->failures,
+                campaign->scenarios.size());
+    const std::string chaos_out = flags.GetString("chaos-out");
+    if (!chaos_out.empty()) {
+      const Status written =
+          obs::WriteTextFile(campaign->ToJson().Dump(2) + "\n", chaos_out);
+      if (!written.ok()) {
+        std::fprintf(stderr, "failed to write chaos report: %s\n",
+                     written.ToString().c_str());
+        return 1;
+      }
+      std::printf("wrote chaos report to %s\n", chaos_out.c_str());
+    }
+    const std::string chaos_spans_out = flags.GetString("chaos-spans-out");
+    if (!chaos_spans_out.empty()) {
+      const Status written = obs::WriteTextFile(
+          campaign->sampled_span_json + "\n", chaos_spans_out);
+      if (!written.ok()) {
+        std::fprintf(stderr, "failed to write chaos spans: %s\n",
+                     written.ToString().c_str());
+        return 1;
+      }
+      std::printf("wrote chaos spans to %s\n", chaos_spans_out.c_str());
+    }
+    return campaign->Passed() ? 0 : 1;
+  }
+
   const std::string engine = flags.GetString("engine");
   // The service engine generates its own open-loop arrival stream; every
   // other engine runs the standard closed query set.
@@ -394,9 +558,22 @@ int main(int argc, char** argv) {
                  burn_valid.ToString().c_str());
     return 1;
   }
-  const reliability::FaultConfig faults = FaultsFromFlags(flags);
+  reliability::FaultConfig faults;
+  if (!FaultsFromFlags(flags, &faults)) {
+    return 1;
+  }
+  const int64_t raw_spares = flags.GetInt("spare-boards");
+  if (raw_spares < 0 || raw_spares > 256) {
+    std::fprintf(stderr, "--spare-boards must be in [0, 256], got %lld\n",
+                 static_cast<long long>(raw_spares));
+    return 1;
+  }
 
   baseline::WalkOutput corpus;
+  // Membership transitions of the run (distributed/service engines);
+  // exported in the spans document so dashboards can line epochs up
+  // with per-query spans.
+  std::vector<reliability::MembershipTransition> membership;
   WallTimer timer;
   int exit_code = 0;
   if (engine == "cpu") {
@@ -466,6 +643,9 @@ int main(int argc, char** argv) {
     config.board.seed = flags.GetInt("seed");
     config.board.faults = faults;
     config.replicate_graph = flags.GetBool("replicate");
+    config.num_spare_boards = static_cast<uint32_t>(raw_spares);
+    config.rebuild_bytes_per_cycle =
+        flags.GetDouble("rebuild-bytes-per-cycle");
     config.num_threads = threads;
     if (!metrics_out.empty()) {
       config.board.metrics = &metrics;
@@ -495,6 +675,7 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(stats.cycles), stats.seconds,
         stats.StepsPerSecond() / 1e6);
     PrintReliabilitySummary(stats.reliability);
+    membership = stats.membership;
     exit_code = ReliabilityExitCode(stats.reliability);
   } else if (engine == "service") {
     const int64_t boards = flags.GetInt("boards");
@@ -514,6 +695,9 @@ int main(int argc, char** argv) {
     config.cluster.board.seed = flags.GetInt("seed");
     config.cluster.board.faults = faults;
     config.cluster.replicate_graph = flags.GetBool("replicate");
+    config.cluster.num_spare_boards = static_cast<uint32_t>(raw_spares);
+    config.cluster.rebuild_bytes_per_cycle =
+        flags.GetDouble("rebuild-bytes-per-cycle");
     config.cluster.num_threads = threads;
     config.admission_shards =
         static_cast<uint32_t>(flags.GetInt("service-shards"));
@@ -573,6 +757,7 @@ int main(int argc, char** argv) {
         stats.cluster.StepsPerSecond() / 1e6);
     std::fputs(core::FormatSloSection(stats.Slo()).c_str(), stdout);
     PrintReliabilitySummary(stats.cluster.reliability);
+    membership = stats.cluster.membership;
     const double max_shed = flags.GetDouble("slo-max-shed");
     const double max_violation = flags.GetDouble("slo-max-violation");
     if (stats.ShedRate() > max_shed ||
@@ -622,6 +807,7 @@ int main(int argc, char** argv) {
     obs::Json doc = spans.ToJson();
     doc.Set("attribution", attribution.ToJson());
     doc.Set("burn_alerts", obs::BurnAlertsToJson(alerts));
+    doc.Set("membership", reliability::MembershipToJson(membership));
     const Status written = obs::WriteTextFile(doc.Dump(2) + "\n", spans_out);
     if (!written.ok()) {
       std::fprintf(stderr, "failed to write spans: %s\n",

@@ -16,7 +16,11 @@ Validates, per file:
   - span ids are nonzero and unique across the document;
   - intervals are well-formed: end >= start for every closed span;
   - every summary's trace/outcome fields are present, and every breached
-    entry in the attribution report names a dominant component.
+    entry in the attribution report names a dominant component;
+  - the membership log (when present) is a legal epoch sequence: epochs
+    are 1..N with no gaps, cycles nondecreasing, and every transition an
+    edge of the board state machine (alive->dead, spare->rebuilding|dead,
+    rebuilding->alive|dead).
 
 Exit status: 0 if all files pass, 1 otherwise (each violation printed).
 """
@@ -43,6 +47,25 @@ SUMMARY_FIELDS = {
     "end": int,
     "breached": bool,
     "outcome": str,
+}
+
+MEMBERSHIP_FIELDS = {
+    "epoch": int,
+    "cycle": int,
+    "board": int,
+    "from": str,
+    "to": str,
+}
+
+BOARD_STATES = {"alive", "dead", "rebuilding", "spare"}
+
+# Legal edges of the membership state machine (reliability/membership.h).
+MEMBERSHIP_EDGES = {
+    ("alive", "dead"),
+    ("spare", "rebuilding"),
+    ("spare", "dead"),
+    ("rebuilding", "alive"),
+    ("rebuilding", "dead"),
 }
 
 
@@ -134,6 +157,35 @@ def check_file(path):
         if alert.get("state") not in ("fired", "cleared"):
             err(f"burn alert at cycle {alert.get('cycle')}: state "
                 f"{alert.get('state')!r} not fired/cleared")
+
+    membership = doc.get("membership")
+    if membership is not None:
+        prev_cycle = 0
+        for i, t in enumerate(membership):
+            label = f"membership[{i}]"
+            for field, kind in MEMBERSHIP_FIELDS.items():
+                if field not in t:
+                    err(f"{label}: missing field {field!r}")
+                elif not isinstance(t[field], kind):
+                    err(f"{label}: field {field!r} is "
+                        f"{type(t[field]).__name__}, want {kind.__name__}")
+            if errors:
+                continue
+            if t["epoch"] != i + 1:
+                err(f"{label}: epoch {t['epoch']}, want {i + 1} "
+                    f"(epochs bump by exactly one per transition)")
+            if t["cycle"] < prev_cycle:
+                err(f"{label}: cycle regresses "
+                    f"({prev_cycle} -> {t['cycle']})")
+            prev_cycle = t["cycle"]
+            if t["board"] < 0:
+                err(f"{label}: negative board id {t['board']}")
+            edge = (t["from"], t["to"])
+            if t["from"] not in BOARD_STATES or t["to"] not in BOARD_STATES:
+                err(f"{label}: unknown board state in edge {edge}")
+            elif edge not in MEMBERSHIP_EDGES:
+                err(f"{label}: illegal transition {t['from']!r} -> "
+                    f"{t['to']!r}")
 
     return errors
 

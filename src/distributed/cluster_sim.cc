@@ -1,6 +1,7 @@
 #include "distributed/cluster_sim.h"
 
 #include <algorithm>
+#include <cmath>
 #include <string>
 #include <utility>
 
@@ -107,6 +108,8 @@ void DistributedRunStats::Accumulate(const DistributedRunStats& part) {
   network.payload_bytes += part.network.payload_bytes;
   network.busy_cycles += part.network.busy_cycles;
   reliability.Accumulate(part.reliability);
+  membership.insert(membership.end(), part.membership.begin(),
+                    part.membership.end());
   cycles = std::max(cycles, part.cycles);
   per_board_graph_bytes =
       std::max(per_board_graph_bytes, part.per_board_graph_bytes);
@@ -114,19 +117,37 @@ void DistributedRunStats::Accumulate(const DistributedRunStats& part) {
 
 Status CheckFailoverSatisfiable(const DistributedConfig& config,
                                 BoardId num_boards) {
-  const reliability::FaultConfig& faults = config.board.faults;
-  if (!faults.enabled || faults.fail_cycle == 0) {
+  const std::vector<reliability::BoardDeath> deaths =
+      reliability::EffectiveBoardDeaths(config.board.faults);
+  if (deaths.empty()) {
     return Status::Ok();
   }
-  if (faults.fail_board >= num_boards) {
-    return InvalidArgumentError(
-        "faults.fail_board " + std::to_string(faults.fail_board) +
-        " out of range for " + std::to_string(num_boards) + " board(s)");
+  const uint32_t total = num_boards + config.num_spare_boards;
+  uint32_t owner_deaths = 0;
+  for (const reliability::BoardDeath& d : deaths) {
+    if (d.board >= total) {
+      return InvalidArgumentError(
+          "scheduled death of board " + std::to_string(d.board) +
+          " out of range for " + std::to_string(num_boards) +
+          " board(s) + " + std::to_string(config.num_spare_boards) +
+          " spare(s)");
+    }
+    if (d.board < num_boards) {
+      ++owner_deaths;
+    }
   }
   if (num_boards < 2) {
     return FailedPreconditionError(
         "board failover needs at least 2 boards (no survivor to recover "
         "onto)");
+  }
+  // A death can land before any rebuild completes, so spares do not
+  // relax the survivor bound: some original board must outlive the
+  // whole schedule.
+  if (owner_deaths >= num_boards) {
+    return FailedPreconditionError(
+        "death schedule kills all " + std::to_string(num_boards) +
+        " partition owner(s): no survivor to recover onto");
   }
   return Status::Ok();
 }
@@ -142,25 +163,33 @@ ClusterSim::ClusterSim(const graph::CsrGraph* graph, const apps::WalkApp* app,
 
   const BoardId num_boards = partition->num_boards();
   const reliability::FaultConfig& faults = config_.board.faults;
-  failure_scheduled_ = faults.enabled && faults.fail_cycle > 0;
+  deaths_ = reliability::EffectiveBoardDeaths(faults);
   // Checkpoints are taken whenever a fault source could force a recovery
   // (the service layer retries whole queries instead, so surfaced-failure
   // mode never replays from checkpoints — but taking them is harmless and
   // keeps the checkpoint accounting comparable across modes).
   const bool recovery_possible =
-      failure_scheduled_ ||
+      !deaths_.empty() ||
       (faults.enabled &&
        (faults.link_drop_rate > 0.0 || faults.link_corrupt_rate > 0.0));
   checkpointing_ =
       recovery_possible && faults.checkpoint_interval_cycles > 0;
   ckpt_interval_ = checkpointing_ ? faults.checkpoint_interval_cycles : 0;
 
+  // Spares are only instantiated when a death is scheduled: a fault-free
+  // run builds exactly the boards it always did (bit-identical results),
+  // and the spares' global ids start past the partition owners so their
+  // fault streams never perturb the owners' schedules.
+  const BoardId num_spares =
+      deaths_.empty() ? 0 : static_cast<BoardId>(config_.num_spare_boards);
+  const BoardId total = static_cast<BoardId>(num_boards + num_spares);
+
   obs::TraceRecorder* trace = config_.board.trace;
-  boards_.reserve(num_boards);
-  for (BoardId b = 0; b < num_boards; ++b) {
+  boards_.reserve(total);
+  for (BoardId b = 0; b < total; ++b) {
     boards_.emplace_back(config_.board, config_.link);
   }
-  for (BoardId b = 0; b < num_boards; ++b) {
+  for (BoardId b = 0; b < total; ++b) {
     Board& board = boards_[b];
     const BoardId global = GlobalBoard(b);
     if (faults.enabled) {
@@ -171,15 +200,44 @@ ClusterSim::ClusterSim(const graph::CsrGraph* graph, const apps::WalkApp* app,
       board.link.AttachFaults(&board.link_faults, &board.rel);
     }
     if (trace != nullptr) {
-      trace->NameProcess(global, "board " + std::to_string(global));
+      trace->NameProcess(global, b < num_boards
+                                     ? "board " + std::to_string(global)
+                                     : "board " + std::to_string(global) +
+                                           " (spare)");
       trace->NameTrack(global, kBoardDramTrack, "dram channel");
       trace->NameTrack(global, kBoardNetTrack, "network / faults");
       board.channel.AttachTrace(trace, global, kBoardDramTrack);
     }
   }
 
+  // Membership: owners start alive serving their own share, spares idle.
+  state_.assign(total, reliability::BoardState::kAlive);
+  serving_.resize(num_boards);
+  share_of_.assign(total, kNoBoard);
+  for (BoardId b = 0; b < num_boards; ++b) {
+    serving_[b] = b;
+    share_of_[b] = b;
+  }
+  for (BoardId b = num_boards; b < total; ++b) {
+    state_[b] = reliability::BoardState::kSpare;
+  }
+  RebuildSurvivors();
+  rebuild_start_.assign(total, 0);
+  if (!deaths_.empty() && num_spares > 0) {
+    // Rebuild cost model input: what a spare must re-materialize to
+    // take over a share (the full image when replicated).
+    if (config_.replicate_graph) {
+      share_bytes_.assign(num_boards, graph_->ModeledByteSize());
+    } else {
+      share_bytes_ = partition_->ShareByteSizes(*graph_);
+    }
+  }
+  for (size_t i = 0; i < deaths_.size(); ++i) {
+    events_.emplace(deaths_[i].cycle, 2, i);
+  }
+
   walkers_ = std::vector<Walker>(max_walkers);
-  inflight_.assign(num_boards, 0);
+  inflight_.assign(total, 0);
   for (size_t i = 0; i < walkers_.size(); ++i) {
     free_slots_.push(i);
   }
@@ -189,21 +247,128 @@ ClusterSim::~ClusterSim() = default;
 
 BoardId ClusterSim::num_boards() const { return partition_->num_boards(); }
 
-bool ClusterSim::IsDead(BoardId b, Cycle t) const {
-  return failure_scheduled_ && b == config_.board.faults.fail_board &&
-         t >= config_.board.faults.fail_cycle;
+BoardId ClusterSim::total_boards() const {
+  return static_cast<BoardId>(boards_.size());
 }
 
 BoardId ClusterSim::SurvivorOf(uint64_t salt) const {
-  const BoardId fail_board = config_.board.faults.fail_board;
-  const BoardId survivors = static_cast<BoardId>(num_boards() - 1);
-  const BoardId idx = static_cast<BoardId>(salt % survivors);
-  return idx >= fail_board ? static_cast<BoardId>(idx + 1) : idx;
+  LIGHTRW_CHECK(!survivors_.empty());
+  return survivors_[salt % survivors_.size()];
 }
 
-BoardId ClusterSim::LiveOwnerOf(VertexId v, Cycle t) const {
-  const BoardId owner = partition_->OwnerOf(v);
-  return IsDead(owner, t) ? SurvivorOf(v) : owner;
+BoardId ClusterSim::LiveOwnerOf(VertexId v) const {
+  const BoardId share = partition_->OwnerOf(v);
+  const BoardId serving = serving_[share];
+  if (serving != kNoBoard && IsAlive(serving)) {
+    return serving;
+  }
+  // Orphaned share (mid-rebuild or spare pool exhausted): surviving
+  // boards serve it, chosen deterministically per vertex.
+  return SurvivorOf(v);
+}
+
+// Rebuilds the sorted alive-serving-board list SurvivorOf() indexes.
+// Called on every serving-set change; the list is the routing ground
+// truth for orphaned shares, so it must never be empty (guaranteed by
+// CheckFailoverSatisfiable's survivor bound).
+void ClusterSim::RebuildSurvivors() {
+  survivors_.clear();
+  for (BoardId share = 0; share < num_boards(); ++share) {
+    const BoardId b = serving_[share];
+    if (b != kNoBoard && IsAlive(b)) {
+      survivors_.push_back(b);
+    }
+  }
+}
+
+// Bumps the membership epoch and records/traces one board state change.
+void ClusterSim::Transition(BoardId b, reliability::BoardState to,
+                            Cycle at) {
+  const reliability::BoardState from = state_[b];
+  state_[b] = to;
+  ++epoch_;
+  transitions_.push_back({epoch_, at, GlobalBoard(b), from, to});
+  obs::TraceRecorder* trace = config_.board.trace;
+  if (trace != nullptr && trace->accepting()) {
+    const char* name = to == reliability::BoardState::kDead
+                           ? "board_failure"
+                           : to == reliability::BoardState::kRebuilding
+                                 ? "spare_activated"
+                                 : "partition_rebuilt";
+    trace->Instant(name, "fault", GlobalBoard(b), kBoardNetTrack, at);
+  }
+}
+
+// Kind-2 death event: the board's resident walker state is gone (their
+// next event finds the board dead and recovers), its share is orphaned,
+// and a spare — if one remains — starts rebuilding the share.
+void ClusterSim::ProcessDeath(size_t death_index, Cycle now) {
+  const reliability::BoardDeath& death = deaths_[death_index];
+  const BoardId b = static_cast<BoardId>(death.board);
+  if (state_[b] == reliability::BoardState::kDead) {
+    return;  // defensive: EffectiveBoardDeaths dedups per board
+  }
+  const bool was_rebuilding =
+      state_[b] == reliability::BoardState::kRebuilding;
+  Transition(b, reliability::BoardState::kDead, now);
+  ++recovery_rel_.board_failures;
+  if (was_rebuilding) {
+    ++recovery_rel_.rebuilds_aborted;
+  }
+  const BoardId share = share_of_[b];
+  share_of_[b] = kNoBoard;
+  if (share == kNoBoard) {
+    return;  // an idle spare died: no share to hand off
+  }
+  if (serving_[share] == b) {
+    serving_[share] = kNoBoard;
+    RebuildSurvivors();
+  }
+  TryActivateSpare(share, now);
+}
+
+// Activates the lowest-id idle spare for an orphaned share and schedules
+// its rebuild completion: detection latency plus the share's bytes over
+// the rebuild bandwidth. With no spare left the cluster stays in
+// survivor-only degraded mode (counted, traced).
+void ClusterSim::TryActivateSpare(BoardId share, Cycle at) {
+  for (BoardId s = num_boards(); s < total_boards(); ++s) {
+    if (state_[s] != reliability::BoardState::kSpare) {
+      continue;
+    }
+    Transition(s, reliability::BoardState::kRebuilding, at);
+    share_of_[s] = share;
+    rebuild_start_[s] = at;
+    ++recovery_rel_.spares_activated;
+    const uint64_t bytes = share_bytes_.empty() ? 0 : share_bytes_[share];
+    const Cycle copy_cycles = static_cast<Cycle>(
+        std::ceil(static_cast<double>(bytes) /
+                  config_.rebuild_bytes_per_cycle));
+    const Cycle done =
+        at + config_.board.faults.detection_latency_cycles + copy_cycles;
+    events_.emplace(done, 2, kRebuildEventBase + s);
+    return;
+  }
+  ++recovery_rel_.spare_exhaustions;
+  obs::TraceRecorder* trace = config_.board.trace;
+  if (trace != nullptr && trace->accepting()) {
+    trace->Instant("spare_exhausted", "fault", GlobalBoard(share),
+                   kBoardNetTrack, at);
+  }
+}
+
+// Kind-2 rebuild-completion event: ownership of the share transfers to
+// the spare — launches and migrations aimed at the share route to it
+// from this cycle on. A spare that died mid-rebuild never gets here.
+void ClusterSim::CompleteRebuild(BoardId spare, Cycle now) {
+  if (state_[spare] != reliability::BoardState::kRebuilding) {
+    return;  // died mid-rebuild (rebuilds_aborted already counted)
+  }
+  Transition(spare, reliability::BoardState::kAlive, now);
+  serving_[share_of_[spare]] = spare;
+  RebuildSurvivors();
+  ++recovery_rel_.rebuilds_completed;
+  recovery_rel_.rebuild_cycles += now - rebuild_start_[spare];
 }
 
 uint32_t ClusterSim::InflightOn(BoardId b) const { return inflight_[b]; }
@@ -216,17 +381,28 @@ void ClusterSim::Launch(uint64_t ticket, const apps::WalkQuery& query,
                         BoardId board, Cycle at,
                         const WalkerOptions& options) {
   LIGHTRW_CHECK(!free_slots_.empty());
-  LIGHTRW_CHECK(board < num_boards());
+  LIGHTRW_CHECK(board < total_boards());
   const size_t slot = free_slots_.top();
   free_slots_.pop();
   Walker& w = walkers_[slot];
+  // Identity transfer: a launch aimed at a board whose share is now
+  // served by a rebuilt spare executes there (the caller's board keeps
+  // the slot accounting, so service-side breakers and admission signals
+  // see the original board identity recover).
+  BoardId exec_board = board;
+  if (!IsAlive(board) && board < num_boards()) {
+    const BoardId serving = serving_[board];
+    if (serving != kNoBoard && IsAlive(serving)) {
+      exec_board = serving;
+    }
+  }
   w.state = WalkState{};
   w.state.curr = query.start;
   w.remaining = options.max_steps > 0
                     ? std::min(query.length, options.max_steps)
                     : query.length;
   w.ticket = ticket;
-  w.board = board;
+  w.board = exec_board;
   w.launch_board = board;
   w.phase = Phase::kInfo;
   w.opts = options;
@@ -257,7 +433,7 @@ void ClusterSim::Launch(uint64_t ticket, const apps::WalkQuery& query,
   w.recovery_cycles = 0;
   if (obs::SpanRecorder* spans = config_.board.spans) {
     w.span = spans->Begin(ticket, options.parent_span, "walk", "exec",
-                          GlobalBoard(board), at);
+                          GlobalBoard(exec_board), at);
   }
   ++inflight_[board];
   events_.emplace(at, 0, slot);
@@ -383,7 +559,7 @@ void ClusterSim::Recover(size_t slot, Cycle at) {
   w.aux = w.ckpt.aux;
   w.phase = Phase::kInfo;
   w.board = config_.replicate_graph ? SurvivorOf(w.ticket)
-                                    : LiveOwnerOf(w.state.curr, at);
+                                    : LiveOwnerOf(w.state.curr);
   const Cycle resume = at + faults.detection_latency_cycles +
                        faults.recovery_cycles_per_walker;
   recovery_rel_.recovery_cycles += resume - at;
@@ -401,21 +577,12 @@ void ClusterSim::Recover(size_t slot, Cycle at) {
 
 void ClusterSim::Step(size_t slot, Cycle now) {
   Walker& w = walkers_[slot];
-  obs::TraceRecorder* trace = config_.board.trace;
   obs::SpanRecorder* spans = config_.board.spans;
   const reliability::FaultConfig& faults = config_.board.faults;
 
-  // Board failure: any event landing on the dead board after the failure
+  // Board failure: any event landing on a dead board after its death
   // cycle finds the walker's resident state gone.
-  if (IsDead(w.board, now)) {
-    if (!failure_observed_) {
-      failure_observed_ = true;
-      ++recovery_rel_.board_failures;
-      if (trace != nullptr && trace->accepting()) {
-        trace->Instant("board_failure", "fault", faults.fail_board,
-                       kBoardNetTrack, faults.fail_cycle);
-      }
-    }
+  if (state_[w.board] == reliability::BoardState::kDead) {
     if (spans != nullptr) {
       spans->Event(w.ticket, w.span, "board_failure", now);
     }
@@ -548,11 +715,8 @@ void ClusterSim::Step(size_t slot, Cycle now) {
     return;
   }
 
-  BoardId next_board =
-      config_.replicate_graph ? w.board : partition_->OwnerOf(next);
-  if (IsDead(next_board, step_end)) {
-    next_board = SurvivorOf(next);
-  }
+  const BoardId next_board =
+      config_.replicate_graph ? w.board : LiveOwnerOf(next);
   if (next_board != w.board) {
     // Ship the walker state to the owner of the next vertex; a lost
     // message (retransmission budget exhausted) recovers the walker
@@ -589,8 +753,14 @@ void ClusterSim::Drain() {
     events_.pop();
     if (kind == 0) {
       Step(static_cast<size_t>(id), now);
-    } else if (on_wake_) {
-      on_wake_(id, now);
+    } else if (kind == 1) {
+      if (on_wake_) {
+        on_wake_(id, now);
+      }
+    } else if (id >= kRebuildEventBase) {
+      CompleteRebuild(static_cast<BoardId>(id - kRebuildEventBase), now);
+    } else {
+      ProcessDeath(static_cast<size_t>(id), now);
     }
   }
 }
@@ -601,7 +771,9 @@ void ClusterSim::Finalize(DistributedRunStats* stats) {
   stats->steps = total_steps_;
   stats->migrations = total_migrations_;
   stats->reliability.Accumulate(recovery_rel_);
-  for (BoardId b = 0; b < num_boards(); ++b) {
+  stats->membership.insert(stats->membership.end(), transitions_.begin(),
+                           transitions_.end());
+  for (BoardId b = 0; b < total_boards(); ++b) {
     const Board& board = boards_[b];
     stats->dram.requests += board.channel.stats().requests;
     stats->dram.beats += board.channel.stats().beats;
@@ -634,6 +806,10 @@ void ClusterSim::Finalize(DistributedRunStats* stats) {
     // Failover-logic events are cluster-level, not per-board.
     reliability::PublishReliabilityMetrics(metrics, recovery_rel_,
                                            {{"board", "cluster"}});
+    if (!transitions_.empty()) {
+      metrics->GetGauge("membership.epoch", {{"board", "cluster"}})
+          ->Set(static_cast<double>(epoch_));
+    }
   }
   stats->cycles = makespan_;
   stats->seconds =
@@ -641,15 +817,11 @@ void ClusterSim::Finalize(DistributedRunStats* stats) {
   if (config_.replicate_graph) {
     stats->per_board_graph_bytes = graph_->ModeledByteSize();
   } else {
-    const auto counts = partition_->EdgeCounts(*graph_);
-    uint64_t max_edges = 0;
-    for (const uint64_t c : counts) {
-      max_edges = std::max(max_edges, c);
+    // Largest partition share (also the rebuild cost model's input).
+    for (const uint64_t share : partition_->ShareByteSizes(*graph_)) {
+      stats->per_board_graph_bytes =
+          std::max(stats->per_board_graph_bytes, share);
     }
-    stats->per_board_graph_bytes =
-        max_edges * graph::kBytesPerEdgeRecord +
-        (graph_->num_vertices() + 1) * graph::kBytesPerRowRecord /
-            partition_->num_boards();
   }
 }
 

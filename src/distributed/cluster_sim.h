@@ -44,6 +44,7 @@
 #include "lightrw/step_sampler.h"
 #include "lightrw/vertex_cache.h"
 #include "reliability/fault_injector.h"
+#include "reliability/membership.h"
 #include "rng/rng.h"
 
 namespace lightrw::distributed {
@@ -62,6 +63,20 @@ struct DistributedConfig {
   // hold the full CSR image. Partitioned mode (false) scales to graphs
   // larger than one board's DRAM at the cost of network migrations.
   bool replicate_graph = false;
+
+  // Hot spares: idle boards that activate on a permanent board death,
+  // rebuild the dead board's partition share, and take over its
+  // identity (migrations and launches aimed at the dead board route to
+  // the rebuilt spare). Spares are only instantiated when the fault
+  // schedule contains a board death, so fault-free runs are unchanged.
+  uint32_t num_spare_boards = 0;
+  // Partition-rebuild bandwidth in bytes per simulated cycle: the rate
+  // at which an activated spare re-materializes the dead board's share
+  // (host-PCIe staging ~32 B/cycle at 300 MHz ~ 9.6 GB/s; set to the
+  // peer-link bandwidth to model peer-to-peer rebuild instead). The
+  // rebuild takes ceil(share_bytes / rebuild_bytes_per_cycle) cycles on
+  // top of the failure-detection latency.
+  double rebuild_bytes_per_cycle = 32.0;
 
   // Host worker threads for drivers that decompose the cluster into
   // independent board shards (DistributedEngine in replicated mode
@@ -105,6 +120,11 @@ struct DistributedRunStats {
   // Faults injected, retries, retransmissions, checkpoints, and
   // recovered/lost walkers, summed over boards plus the failover logic.
   reliability::ReliabilityStats reliability;
+  // Cluster membership log: every board state transition (death, spare
+  // activation, rebuild completion) in epoch order. Empty when no board
+  // death is scheduled. See reliability/membership.h for the invariants
+  // (CheckMembershipLog) tests assert on.
+  std::vector<reliability::MembershipTransition> membership;
 
   // Folds a board shard's run into this total: counters sum, the
   // makespan and per-board image size max. Callers recompute `seconds`
@@ -143,8 +163,11 @@ struct WalkerEnd {
 };
 
 // Non-OK when the configured fault schedule cannot be satisfied on a
-// cluster of `num_boards` boards (fail_board out of range, or a failover
-// with no survivor to recover onto).
+// cluster of `num_boards` boards (a death targets a board outside the
+// partition-owner + spare id range, or the schedule kills every
+// partition owner, leaving no survivor to recover onto — spares do not
+// relax that bound because a death can land before any rebuild
+// finishes).
 Status CheckFailoverSatisfiable(const DistributedConfig& config,
                                 BoardId num_boards);
 
@@ -174,18 +197,36 @@ class ClusterSim {
   void set_surface_failures(bool v) { surface_failures_ = v; }
 
   BoardId num_boards() const;
+  // Physical boards instantiated: the partition owners plus hot spares
+  // (spares exist only when the fault schedule contains a board death).
+  BoardId total_boards() const;
   // Global identity of local board `b` (see DistributedConfig::
   // first_board): what fault seeds, trace pids, and metric labels use.
   BoardId GlobalBoard(BoardId b) const {
     return static_cast<BoardId>(config_.first_board + b);
   }
-  // True once the scheduled whole-board failure has passed for `b`.
-  bool IsDead(BoardId b, hwsim::Cycle t) const;
-  // Owner of `v` at time `t`: the partition owner, except that a dead
-  // board's share is served by surviving boards after the failure.
-  BoardId LiveOwnerOf(graph::VertexId v, hwsim::Cycle t) const;
-  // Deterministic survivor choice for re-routing dead-board load.
+  // Membership state of board `b` as of the last processed event.
+  // Original boards start alive, spares start spare; the only exit from
+  // alive is a scheduled death (see reliability/membership.h).
+  reliability::BoardState StateOf(BoardId b) const { return state_[b]; }
+  bool IsAlive(BoardId b) const {
+    return state_[b] == reliability::BoardState::kAlive;
+  }
+  // Board currently serving partition share `v`'s owner: the owner
+  // itself while alive, the rebuilt spare after an ownership transfer,
+  // or a deterministic survivor while the share has no serving board
+  // (mid-rebuild or spare pool exhausted).
+  BoardId LiveOwnerOf(graph::VertexId v) const;
+  // Deterministic choice among alive serving boards for re-routing
+  // dead-board load. At least one always exists (CheckFailoverSatisfiable
+  // bounds the death schedule).
   BoardId SurvivorOf(uint64_t salt) const;
+  // Monotone cluster membership epoch: bumps by exactly one on every
+  // board state transition. 0 until the first transition.
+  uint64_t membership_epoch() const { return epoch_; }
+  const std::vector<reliability::MembershipTransition>& membership() const {
+    return transitions_;
+  }
 
   // Walkers currently charged against board `b` (counted on the Launch
   // board for the walker's whole life, even as it migrates): the queue
@@ -219,8 +260,16 @@ class ClusterSim {
   struct Walker;
 
   // Heap events: (cycle, kind, id) — kind 0 walker slot, kind 1 wake
-  // tag. The tuple order is the deterministic tie-break.
+  // tag, kind 2 membership (board death / rebuild completion). The
+  // tuple order is the deterministic tie-break: membership events
+  // process after same-cycle walker and wake events, so a board serves
+  // every walker event already scheduled for its death cycle.
   using Event = std::tuple<hwsim::Cycle, int, uint64_t>;
+  // Kind-2 event ids below the base are indices into deaths_; ids at or
+  // above it encode `kRebuildEventBase + board` rebuild completions.
+  static constexpr uint64_t kRebuildEventBase = 1ULL << 32;
+  // Sentinel for "share has no serving board" / "board serves no share".
+  static constexpr BoardId kNoBoard = static_cast<BoardId>(~0u);
 
   void Step(size_t slot, hwsim::Cycle now);
   void EndWalkSpan(Walker& w, hwsim::Cycle at);
@@ -229,6 +278,14 @@ class ClusterSim {
   void Recover(size_t slot, hwsim::Cycle at);
   void TakeCheckpoint(Walker& w, Board& board, hwsim::Cycle at);
   hwsim::Cycle LookupInfo(Board& board, hwsim::Cycle t, graph::VertexId v);
+  // Membership machinery (see DESIGN.md "Membership, spares & partition
+  // rebuild"). Transition() bumps the epoch and logs/traces the change;
+  // the others drive the state machine off kind-2 events.
+  void Transition(BoardId b, reliability::BoardState to, hwsim::Cycle at);
+  void RebuildSurvivors();
+  void ProcessDeath(size_t death_index, hwsim::Cycle now);
+  void TryActivateSpare(BoardId share, hwsim::Cycle at);
+  void CompleteRebuild(BoardId spare, hwsim::Cycle now);
 
   const graph::CsrGraph* graph_;
   const apps::WalkApp* app_;
@@ -247,10 +304,25 @@ class ClusterSim {
   RetireFn on_retire_;
   WakeFn on_wake_;
 
-  bool failure_scheduled_ = false;
-  bool failure_observed_ = false;
+  // Effective death schedule (legacy fail_cycle folded in, sorted,
+  // deduplicated per board); empty means fault-free membership.
+  std::vector<reliability::BoardDeath> deaths_;
   bool checkpointing_ = false;
   uint64_t ckpt_interval_ = 0;
+  // Membership: per-board state, share->serving-board and
+  // board->share maps (shares are named by their original owner's local
+  // id), the sorted alive serving boards SurvivorOf() draws from, and
+  // the epoch-ordered transition log.
+  std::vector<reliability::BoardState> state_;
+  std::vector<BoardId> serving_;   // share -> board (kNoBoard = orphaned)
+  std::vector<BoardId> share_of_;  // board -> share (kNoBoard = none)
+  std::vector<BoardId> survivors_;
+  uint64_t epoch_ = 0;
+  std::vector<reliability::MembershipTransition> transitions_;
+  // Rebuild cost model inputs: modeled bytes of each partition share
+  // and, per board, the cycle its rebuild started (spares only).
+  std::vector<uint64_t> share_bytes_;
+  std::vector<hwsim::Cycle> rebuild_start_;
   // Recovery-side events (board failure, lost walkers) that belong to
   // the failover logic rather than any one board's datapath.
   reliability::ReliabilityStats recovery_rel_;

@@ -28,10 +28,29 @@ Status ValidateDistributedConfig(const DistributedConfig& config) {
   if (config.board.num_instances == 0) {
     return InvalidArgumentError("board.num_instances must be >= 1");
   }
+  if (config.num_spare_boards > 256) {
+    return InvalidArgumentError("num_spare_boards must be <= 256");
+  }
+  if (config.num_spare_boards > 0 && config.rebuild_bytes_per_cycle <= 0.0) {
+    return InvalidArgumentError(
+        "rebuild_bytes_per_cycle must be > 0 when spare boards are "
+        "configured (a rebuild copies the dead board's share)");
+  }
   LIGHTRW_RETURN_IF_ERROR(hwsim::ValidateDramConfig(config.board.dram));
   LIGHTRW_RETURN_IF_ERROR(hwsim::ValidateLinkConfig(config.link));
   LIGHTRW_RETURN_IF_ERROR(
       reliability::ValidateFaultConfig(config.board.faults));
+  // A scheduled board death with checkpointing disabled drops every
+  // in-flight walk on the dead board. That is sometimes exactly what a
+  // degradation experiment wants, but it must be asked for explicitly.
+  if (config.board.faults.checkpoint_interval_cycles == 0 &&
+      !config.board.faults.allow_walker_loss &&
+      !reliability::EffectiveBoardDeaths(config.board.faults).empty()) {
+    return InvalidArgumentError(
+        "a scheduled board death with checkpoint_interval_cycles == 0 "
+        "loses every in-flight walk on the dead board; set "
+        "faults.allow_walker_loss to opt in");
+  }
   return Status::Ok();
 }
 

@@ -136,12 +136,17 @@ StatusOr<DistributedRunStats> DistributedEngine::Run(
       const size_t qi = next_query++;
       const apps::WalkQuery& q = queries[qi];
       // Replicated mode keeps a walker on its initial board for its
-      // whole life (any board can serve any vertex).
-      BoardId board = config_.replicate_graph
-                          ? static_cast<BoardId>(qi % num_boards)
-                          : partition_->OwnerOf(q.start);
-      if (sim.IsDead(board, at)) {
-        board = sim.SurvivorOf(config_.replicate_graph ? qi : q.start);
+      // whole life (any board can serve any vertex); partitioned mode
+      // dispatches to whichever board serves the start vertex's share
+      // (the owner, its rebuilt spare, or a survivor).
+      BoardId board;
+      if (config_.replicate_graph) {
+        board = static_cast<BoardId>(qi % num_boards);
+        if (!sim.IsAlive(board)) {
+          board = sim.SurvivorOf(qi);
+        }
+      } else {
+        board = sim.LiveOwnerOf(q.start);
       }
       sim.Launch(qi, q, board, at);
     };

@@ -25,6 +25,17 @@ std::vector<uint64_t> Partition::EdgeCounts(
   return counts;
 }
 
+std::vector<uint64_t> Partition::ShareByteSizes(
+    const graph::CsrGraph& graph) const {
+  std::vector<uint64_t> bytes = EdgeCounts(graph);
+  const uint64_t row_share =
+      (graph.num_vertices() + 1) * graph::kBytesPerRowRecord / num_boards_;
+  for (uint64_t& b : bytes) {
+    b = b * graph::kBytesPerEdgeRecord + row_share;
+  }
+  return bytes;
+}
+
 double Partition::CutRatio(const graph::CsrGraph& graph) const {
   if (graph.num_edges() == 0) {
     return 0.0;

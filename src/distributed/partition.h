@@ -38,6 +38,12 @@ class Partition {
   // Edges per board (by source vertex ownership).
   std::vector<uint64_t> EdgeCounts(const graph::CsrGraph& graph) const;
 
+  // Modeled DRAM bytes of each board's partition share: its adjacency
+  // records plus an equal slice of the row-index array. This is what a
+  // hot spare must re-materialize to take over a dead board's share,
+  // and the max over boards is the per-board DRAM footprint.
+  std::vector<uint64_t> ShareByteSizes(const graph::CsrGraph& graph) const;
+
   // Fraction of edges whose endpoints live on different boards — the
   // expected migration ratio of an unbiased walk.
   double CutRatio(const graph::CsrGraph& graph) const;

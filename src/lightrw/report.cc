@@ -160,6 +160,17 @@ std::string FormatRunReport(const RunReportInputs& inputs) {
               static_cast<unsigned long long>(rel.walkers_lost),
               static_cast<unsigned long long>(rel.replayed_steps));
     }
+    if (rel.spares_activated + rel.spare_exhaustions > 0) {
+      Appendf(&out,
+              "  self-healing: %llu spare(s) activated, %llu rebuild(s) "
+              "completed, %llu aborted, %llu exhaustion(s), %llu rebuild "
+              "cycle(s)\n",
+              static_cast<unsigned long long>(rel.spares_activated),
+              static_cast<unsigned long long>(rel.rebuilds_completed),
+              static_cast<unsigned long long>(rel.rebuilds_aborted),
+              static_cast<unsigned long long>(rel.spare_exhaustions),
+              static_cast<unsigned long long>(rel.rebuild_cycles));
+    }
   }
 
   // Service-level objectives: only for service runs — a batch run's

@@ -1,5 +1,6 @@
 #include "reliability/fault_injector.h"
 
+#include <algorithm>
 #include <string>
 
 #include "obs/metrics.h"
@@ -41,7 +42,54 @@ Status ValidateFaultConfig(const FaultConfig& config) {
   if (config.max_retransmissions > 64) {
     return InvalidArgumentError("max_retransmissions must be <= 64");
   }
+  if (config.board_deaths.size() > 4096) {
+    return InvalidArgumentError(
+        "board_deaths schedules more than 4096 deaths");
+  }
+  for (size_t i = 0; i < config.board_deaths.size(); ++i) {
+    if (config.board_deaths[i].cycle == 0) {
+      return InvalidArgumentError(
+          "board_deaths[" + std::to_string(i) +
+          "].cycle must be >= 1 (cycle 0 means 'never')");
+    }
+  }
   return Status::Ok();
+}
+
+std::vector<BoardDeath> EffectiveBoardDeaths(const FaultConfig& config) {
+  std::vector<BoardDeath> deaths;
+  if (!config.enabled) {
+    return deaths;
+  }
+  if (config.fail_cycle > 0) {
+    deaths.push_back({config.fail_cycle, config.fail_board});
+  }
+  for (const BoardDeath& d : config.board_deaths) {
+    if (d.cycle > 0) {
+      deaths.push_back(d);
+    }
+  }
+  std::sort(deaths.begin(), deaths.end(),
+            [](const BoardDeath& a, const BoardDeath& b) {
+              return a.cycle != b.cycle ? a.cycle < b.cycle
+                                        : a.board < b.board;
+            });
+  // Only the first death of a board fires; later entries are no-ops.
+  std::vector<BoardDeath> unique;
+  unique.reserve(deaths.size());
+  for (const BoardDeath& d : deaths) {
+    bool seen = false;
+    for (const BoardDeath& u : unique) {
+      if (u.board == d.board) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) {
+      unique.push_back(d);
+    }
+  }
+  return unique;
 }
 
 void ReliabilityStats::Accumulate(const ReliabilityStats& other) {
@@ -60,15 +108,26 @@ void ReliabilityStats::Accumulate(const ReliabilityStats& other) {
   replayed_steps += other.replayed_steps;
   recovery_cycles += other.recovery_cycles;
   walks_failed += other.walks_failed;
+  spares_activated += other.spares_activated;
+  rebuilds_completed += other.rebuilds_completed;
+  rebuilds_aborted += other.rebuilds_aborted;
+  spare_exhaustions += other.spare_exhaustions;
+  rebuild_cycles += other.rebuild_cycles;
 }
 
 Status ReliabilityStatus(const ReliabilityStats& stats) {
   if (stats.walkers_lost > 0 || stats.walks_failed > 0) {
-    return InternalError(
+    std::string message =
         "run lost data: " + std::to_string(stats.walks_failed) +
         " walk(s) failed on uncorrectable faults, " +
         std::to_string(stats.walkers_lost) +
-        " walker(s) unrecoverable (no checkpoint)");
+        " walker(s) unrecoverable (no checkpoint)";
+    if (stats.spare_exhaustions > 0) {
+      message += "; spare pool exhausted " +
+                 std::to_string(stats.spare_exhaustions) +
+                 " time(s) (survivor-only degraded mode)";
+    }
+    return InternalError(message);
   }
   return Status::Ok();
 }
@@ -98,6 +157,11 @@ void PublishReliabilityMetrics(
       {"reliability.walkers.replayed_steps", stats.replayed_steps},
       {"reliability.recovery.cycles", stats.recovery_cycles},
       {"reliability.walks.failed", stats.walks_failed},
+      {"reliability.spares.activated", stats.spares_activated},
+      {"reliability.rebuilds.completed", stats.rebuilds_completed},
+      {"reliability.rebuilds.aborted", stats.rebuilds_aborted},
+      {"reliability.spares.exhausted", stats.spare_exhaustions},
+      {"reliability.rebuild.cycles", stats.rebuild_cycles},
   };
   for (const auto& [name, value] : counters) {
     if (value != 0) {

@@ -51,6 +51,14 @@ enum class LinkFault {
   kCorrupted,  // CRC failure at the receiver: explicit NACK, same retry path
 };
 
+// One scheduled permanent board death: local board `board` stops
+// serving at simulated cycle `cycle` (cycle 0 is rejected by
+// validation — it would mean "never", matching fail_cycle).
+struct BoardDeath {
+  uint64_t cycle = 0;
+  uint32_t board = 0;
+};
+
 // Fault schedule and recovery-protocol parameters. The default
 // configuration is fully disabled: engines behave bit-identically to a
 // build without the reliability subsystem.
@@ -83,8 +91,23 @@ struct FaultConfig {
   // Whole-board failure schedule: board `fail_board` stops serving at
   // simulated cycle `fail_cycle` (0 disables). Walkers resident on (or
   // migrating to) the dead board are recovered on surviving boards.
+  // Kept as the legacy single-death schedule; it folds into
+  // `board_deaths` (see EffectiveBoardDeaths).
   uint64_t fail_cycle = 0;
   uint32_t fail_board = 0;
+
+  // Generalized death schedule: each entry permanently kills one board
+  // at the given cycle. Boards are local ids covering partition owners
+  // and hot spares (ids >= the partition board count name spares), so a
+  // schedule can express cascades, death-during-rebuild, and spare
+  // exhaustion. Only the first death per board takes effect.
+  std::vector<BoardDeath> board_deaths;
+
+  // Opt-in for configurations that knowingly lose walks: a scheduled
+  // board death with checkpoint_interval_cycles == 0 drops every
+  // in-flight walk on the dead board, so ValidateDistributedConfig
+  // rejects that combination unless this is set.
+  bool allow_walker_loss = false;
 
   // Walker-state checkpoint cadence in simulated cycles. Smaller
   // intervals replay fewer steps on recovery but take more checkpoints;
@@ -103,13 +126,19 @@ struct FaultConfig {
     return enabled &&
            (dram_correctable_rate > 0.0 || dram_uncorrectable_rate > 0.0 ||
             link_drop_rate > 0.0 || link_corrupt_rate > 0.0 ||
-            fail_cycle > 0);
+            fail_cycle > 0 || !board_deaths.empty());
   }
 };
 
 // Structural validation of a fault configuration (rates are
 // probabilities, protocol parameters are nonzero where required).
 Status ValidateFaultConfig(const FaultConfig& config);
+
+// The effective death schedule: the legacy fail_cycle/fail_board pair
+// (when set) merged with `board_deaths`, sorted by (cycle, board), with
+// duplicate boards dropped (only the first death of a board fires).
+// Empty when fault injection is disabled.
+std::vector<BoardDeath> EffectiveBoardDeaths(const FaultConfig& config);
 
 // Every fault, retry, and recovery event, counted. Summed over
 // components (DRAM channels, links, boards) into the run stats, the
@@ -134,6 +163,12 @@ struct ReliabilityStats {
   uint64_t recovery_cycles = 0;    // detection + re-dispatch cost, summed
   // Walks that could not run to completion (uncorrectable data loss).
   uint64_t walks_failed = 0;
+  // Self-healing (hot spares + partition rebuild).
+  uint64_t spares_activated = 0;    // spare -> rebuilding transitions
+  uint64_t rebuilds_completed = 0;  // rebuilding -> alive (owner transfer)
+  uint64_t rebuilds_aborted = 0;    // spare died mid-rebuild
+  uint64_t spare_exhaustions = 0;   // death with no spare left (degraded)
+  uint64_t rebuild_cycles = 0;      // activation -> ownership transfer
 
   uint64_t FaultsInjected() const {
     return dram_correctable + dram_uncorrectable + link_dropped +
@@ -141,7 +176,8 @@ struct ReliabilityStats {
   }
   bool Any() const {
     return FaultsInjected() + checkpoints + walkers_recovered +
-               walkers_lost + walks_failed !=
+               walkers_lost + walks_failed + spares_activated +
+               spare_exhaustions !=
            0;
   }
   void Accumulate(const ReliabilityStats& other);

@@ -1,0 +1,84 @@
+#include "reliability/membership.h"
+
+#include <string>
+
+namespace lightrw::reliability {
+
+const char* BoardStateName(BoardState state) {
+  switch (state) {
+    case BoardState::kAlive:
+      return "alive";
+    case BoardState::kDead:
+      return "dead";
+    case BoardState::kRebuilding:
+      return "rebuilding";
+    case BoardState::kSpare:
+      return "spare";
+  }
+  return "unknown";
+}
+
+namespace {
+
+bool LegalEdge(BoardState from, BoardState to) {
+  switch (from) {
+    case BoardState::kAlive:
+      return to == BoardState::kDead;
+    case BoardState::kSpare:
+      return to == BoardState::kRebuilding || to == BoardState::kDead;
+    case BoardState::kRebuilding:
+      return to == BoardState::kAlive || to == BoardState::kDead;
+    case BoardState::kDead:
+      return false;  // terminal
+  }
+  return false;
+}
+
+}  // namespace
+
+Status CheckMembershipLog(const std::vector<MembershipTransition>& log) {
+  uint64_t prev_cycle = 0;
+  for (size_t i = 0; i < log.size(); ++i) {
+    const MembershipTransition& t = log[i];
+    const std::string where = "membership[" + std::to_string(i) + "]";
+    if (t.epoch != i + 1) {
+      return InternalError(where + ": epoch " + std::to_string(t.epoch) +
+                           " breaks monotonicity (want " +
+                           std::to_string(i + 1) + ")");
+    }
+    if (t.cycle < prev_cycle) {
+      return InternalError(where + ": cycle " + std::to_string(t.cycle) +
+                           " regresses below " +
+                           std::to_string(prev_cycle));
+    }
+    prev_cycle = t.cycle;
+    if (t.from == t.to) {
+      return InternalError(where + ": no-op transition (" +
+                           BoardStateName(t.from) + " -> " +
+                           BoardStateName(t.to) + ")");
+    }
+    if (!LegalEdge(t.from, t.to)) {
+      return InternalError(where + ": illegal transition " +
+                           BoardStateName(t.from) + " -> " +
+                           BoardStateName(t.to) + " for board " +
+                           std::to_string(t.board));
+    }
+  }
+  return Status::Ok();
+}
+
+obs::Json MembershipToJson(const std::vector<MembershipTransition>& log) {
+  obs::Json rows = obs::Json::MakeArray();
+  for (const MembershipTransition& t : log) {
+    obs::Json row = obs::Json::MakeObject();
+    row.Set("epoch", t.epoch);
+    row.Set("cycle", t.cycle);
+    row.Set("board", static_cast<uint64_t>(t.board));
+    row.Set("from", BoardStateName(t.from));
+    row.Set("to", BoardStateName(t.to));
+    rows.Append(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace lightrw::reliability

@@ -23,6 +23,8 @@
 #include "graph/generators.h"
 #include "lightrw/config_validation.h"
 #include "lightrw/cycle_engine.h"
+#include "obs/span.h"
+#include "reliability/membership.h"
 #include "service/walk_service.h"
 
 namespace lightrw {
@@ -68,6 +70,11 @@ void ExpectSameReliability(const reliability::ReliabilityStats& a,
   EXPECT_EQ(a.walkers_recovered, b.walkers_recovered);
   EXPECT_EQ(a.walkers_lost, b.walkers_lost);
   EXPECT_EQ(a.walks_failed, b.walks_failed);
+  EXPECT_EQ(a.spares_activated, b.spares_activated);
+  EXPECT_EQ(a.rebuilds_completed, b.rebuilds_completed);
+  EXPECT_EQ(a.rebuilds_aborted, b.rebuilds_aborted);
+  EXPECT_EQ(a.spare_exhaustions, b.spare_exhaustions);
+  EXPECT_EQ(a.rebuild_cycles, b.rebuild_cycles);
 }
 
 // --- SimThreadPool itself -------------------------------------------------
@@ -274,6 +281,59 @@ TEST(ParallelDistributedTest, FaultInjectionFallsBackDeterministically) {
                        faults);
     ExpectSameCorpus(serial.corpus, parallel.corpus);
     ExpectSameDistStats(serial.stats, parallel.stats);
+  }
+}
+
+// Self-healing runs — a cascade of deaths absorbed by hot spares — add
+// membership events and rebuild completions to the coupled event loop;
+// corpus, stats, the membership log, and the span JSON document must all
+// stay byte-identical across thread counts.
+TEST(ParallelDistributedTest, SpareRebuildCascadeDeterministicAcrossThreads) {
+  const CsrGraph g = TestGraph();
+  const StaticWalkApp app;
+  const Partition partition = MakePartition(g, 4, PartitionStrategy::kHash);
+  const auto queries = apps::MakeVertexQueries(g, /*length=*/16,
+                                               /*seed=*/5, /*limit=*/600);
+  struct Run {
+    WalkOutput corpus;
+    DistributedRunStats stats;
+    std::string span_json;
+    std::string membership_json;
+  };
+  auto run_with = [&](uint32_t threads) {
+    DistributedConfig config;
+    config.board.num_instances = 1;
+    config.board.seed = 17;
+    config.replicate_graph = true;
+    config.num_threads = threads;
+    config.num_spare_boards = 1;
+    config.rebuild_bytes_per_cycle = 256.0;
+    config.board.faults.enabled = true;
+    config.board.faults.seed = 3;
+    config.board.faults.checkpoint_interval_cycles = 1 << 12;
+    config.board.faults.board_deaths = {{1 << 14, 1}, {1 << 15, 2}};
+    obs::SpanRecorder spans;
+    config.board.spans = &spans;
+    DistributedEngine engine(&g, &app, &partition, config);
+    Run run;
+    run.stats = engine.Run(queries, &run.corpus).value();
+    run.span_json = spans.ToJsonString();
+    run.membership_json =
+        reliability::MembershipToJson(run.stats.membership).Dump();
+    return run;
+  };
+  const Run serial = run_with(1);
+  EXPECT_EQ(serial.stats.reliability.board_failures, 2u);
+  EXPECT_EQ(serial.stats.reliability.spares_activated, 1u);
+  EXPECT_EQ(serial.stats.reliability.walkers_lost, 0u);
+  EXPECT_TRUE(
+      reliability::CheckMembershipLog(serial.stats.membership).ok());
+  for (const uint32_t threads : kThreadSweep) {
+    const Run parallel = run_with(threads);
+    ExpectSameCorpus(serial.corpus, parallel.corpus);
+    ExpectSameDistStats(serial.stats, parallel.stats);
+    EXPECT_EQ(serial.membership_json, parallel.membership_json);
+    EXPECT_EQ(serial.span_json, parallel.span_json) << "threads " << threads;
   }
 }
 

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "apps/walk_app.h"
+#include "distributed/config_validation.h"
 #include "distributed/dist_engine.h"
 #include "distributed/partition.h"
 #include "graph/generators.h"
@@ -15,6 +16,7 @@
 #include "lightrw/cycle_engine.h"
 #include "obs/metrics.h"
 #include "reliability/fault_injector.h"
+#include "reliability/membership.h"
 
 namespace lightrw {
 namespace {
@@ -398,6 +400,7 @@ TEST(DistributedFaultTest, NoCheckpointsLosesWalks) {
   config.board.faults.fail_cycle = 30000;
   config.board.faults.fail_board = 1;
   config.board.faults.checkpoint_interval_cycles = 0;  // no checkpoints
+  config.board.faults.allow_walker_loss = true;        // explicit opt-in
   distributed::DistributedEngine engine(&g, &app, &p, config);
   const auto queries = apps::MakeVertexQueries(g, 20, 3, 800);
   const auto result = engine.Run(queries);
@@ -451,6 +454,242 @@ TEST(DistributedFaultTest, ZeroRatesMatchDisabledRun) {
   EXPECT_EQ(out_off.vertices, out_on.vertices);
   EXPECT_EQ(out_off.offsets, out_on.offsets);
   EXPECT_FALSE(b->reliability.Any());
+}
+
+// --- Membership epochs, hot spares, and partition rebuild -----------------
+
+using reliability::BoardState;
+using reliability::MembershipTransition;
+
+TEST(MembershipLogTest, AcceptsLegalMonotoneLog) {
+  const std::vector<MembershipTransition> log = {
+      {1, 100, 1, BoardState::kAlive, BoardState::kDead},
+      {2, 100, 4, BoardState::kSpare, BoardState::kRebuilding},
+      {3, 900, 4, BoardState::kRebuilding, BoardState::kAlive},
+  };
+  EXPECT_TRUE(reliability::CheckMembershipLog(log).ok());
+  EXPECT_TRUE(reliability::CheckMembershipLog({}).ok());
+}
+
+TEST(MembershipLogTest, RejectsEpochGapsCycleRegressionsAndIllegalEdges) {
+  // Epoch must bump by exactly one per transition.
+  EXPECT_FALSE(reliability::CheckMembershipLog(
+                   {{2, 100, 1, BoardState::kAlive, BoardState::kDead}})
+                   .ok());
+  // Cycles are nondecreasing.
+  EXPECT_FALSE(reliability::CheckMembershipLog(
+                   {{1, 500, 1, BoardState::kAlive, BoardState::kDead},
+                    {2, 100, 4, BoardState::kSpare, BoardState::kRebuilding}})
+                   .ok());
+  // Dead is terminal; alive boards never become spares.
+  EXPECT_FALSE(reliability::CheckMembershipLog(
+                   {{1, 100, 1, BoardState::kDead, BoardState::kAlive}})
+                   .ok());
+  EXPECT_FALSE(reliability::CheckMembershipLog(
+                   {{1, 100, 1, BoardState::kAlive, BoardState::kSpare}})
+                   .ok());
+}
+
+TEST(FaultConfigTest, EffectiveBoardDeathsFoldsSortsAndDedups) {
+  FaultConfig faults = EnabledConfig();
+  faults.fail_cycle = 5000;  // legacy single-death fields fold in
+  faults.fail_board = 2;
+  faults.board_deaths = {{3000, 1}, {3000, 0}, {7000, 1}};  // dup board 1
+  const auto deaths = reliability::EffectiveBoardDeaths(faults);
+  ASSERT_EQ(deaths.size(), 3u);
+  EXPECT_EQ(deaths[0].cycle, 3000u);
+  EXPECT_EQ(deaths[0].board, 0u);
+  EXPECT_EQ(deaths[1].cycle, 3000u);
+  EXPECT_EQ(deaths[1].board, 1u);  // first death per board wins
+  EXPECT_EQ(deaths[2].cycle, 5000u);
+  EXPECT_EQ(deaths[2].board, 2u);
+}
+
+TEST(DistributedConfigTest, RejectsCheckpointFreeDeathWithoutOptIn) {
+  auto config = DistConfig();
+  config.board.faults = EnabledConfig();
+  config.board.faults.board_deaths = {{30000, 1}};
+  config.board.faults.checkpoint_interval_cycles = 0;
+  EXPECT_FALSE(distributed::ValidateDistributedConfig(config).ok());
+  config.board.faults.allow_walker_loss = true;
+  EXPECT_TRUE(distributed::ValidateDistributedConfig(config).ok());
+  config.board.faults.allow_walker_loss = false;
+  config.board.faults.checkpoint_interval_cycles = 4096;
+  EXPECT_TRUE(distributed::ValidateDistributedConfig(config).ok());
+}
+
+TEST(DistributedConfigTest, RejectsDegenerateSpareKnobs) {
+  auto config = DistConfig();
+  config.num_spare_boards = 300;  // > 256
+  EXPECT_FALSE(distributed::ValidateDistributedConfig(config).ok());
+  config.num_spare_boards = 1;
+  config.rebuild_bytes_per_cycle = 0.0;
+  EXPECT_FALSE(distributed::ValidateDistributedConfig(config).ok());
+  config.rebuild_bytes_per_cycle = 32.0;
+  EXPECT_TRUE(distributed::ValidateDistributedConfig(config).ok());
+}
+
+distributed::DistributedConfig SelfHealConfig(bool replicate,
+                                              uint32_t spares) {
+  auto config = DistConfig();
+  config.replicate_graph = replicate;
+  config.num_spare_boards = spares;
+  config.rebuild_bytes_per_cycle = 256.0;
+  config.board.faults = EnabledConfig();
+  config.board.faults.checkpoint_interval_cycles = 4096;
+  return config;
+}
+
+// One death absorbed by one spare: the spare rebuilds the dead board's
+// partition share, takes over its ownership, and the membership log
+// records exactly dead -> rebuilding -> alive with epochs 1..3.
+TEST(SelfHealingTest, SpareRebuildTransfersOwnership) {
+  const CsrGraph g = TestGraph();
+  StaticWalkApp app;
+  const auto p =
+      distributed::MakePartition(g, 4, distributed::PartitionStrategy::kHash);
+  auto config = SelfHealConfig(/*replicate=*/false, /*spares=*/1);
+  config.board.faults.board_deaths = {{30000, 2}};
+  distributed::DistributedEngine engine(&g, &app, &p, config);
+  const auto queries = apps::MakeVertexQueries(g, 20, 3, 800);
+  baseline::WalkOutput output;
+  const auto result = engine.Run(queries, &output);
+  ASSERT_TRUE(result.ok());
+  const auto& stats = *result;
+  EXPECT_EQ(stats.queries, queries.size());
+  EXPECT_EQ(output.num_paths(), queries.size());
+  EXPECT_EQ(stats.reliability.board_failures, 1u);
+  EXPECT_EQ(stats.reliability.spares_activated, 1u);
+  EXPECT_EQ(stats.reliability.rebuilds_completed, 1u);
+  EXPECT_EQ(stats.reliability.spare_exhaustions, 0u);
+  EXPECT_EQ(stats.reliability.walkers_lost, 0u);
+  EXPECT_EQ(stats.reliability.walks_failed, 0u);
+  EXPECT_GT(stats.reliability.rebuild_cycles, 0u);
+  ASSERT_EQ(stats.membership.size(), 3u);
+  EXPECT_TRUE(reliability::CheckMembershipLog(stats.membership).ok());
+  EXPECT_EQ(stats.membership[0].board, 2u);
+  EXPECT_EQ(stats.membership[0].to, BoardState::kDead);
+  EXPECT_EQ(stats.membership[1].board, 4u);  // spare sits past the owners
+  EXPECT_EQ(stats.membership[1].to, BoardState::kRebuilding);
+  EXPECT_EQ(stats.membership[2].board, 4u);
+  EXPECT_EQ(stats.membership[2].to, BoardState::kAlive);
+  // Paths survive the ownership transfer intact.
+  for (size_t i = 0; i < output.num_paths(); ++i) {
+    const auto path = output.Path(i);
+    for (size_t s = 1; s < path.size(); ++s) {
+      EXPECT_TRUE(g.HasEdge(path[s - 1], path[s]));
+    }
+  }
+}
+
+// Killing the spare while it is still rebuilding aborts the rebuild; the
+// share falls back to the survivors and no walk is lost.
+TEST(SelfHealingTest, DeathDuringRebuildFallsBackToSurvivors) {
+  const CsrGraph g = TestGraph();
+  StaticWalkApp app;
+  const auto p =
+      distributed::MakePartition(g, 4, distributed::PartitionStrategy::kHash);
+  auto config = SelfHealConfig(/*replicate=*/true, /*spares=*/1);
+  // Replicated share is the full graph (~1 MB): at 8 B/cycle the rebuild
+  // runs for >100k cycles, so the second death lands mid-rebuild.
+  config.rebuild_bytes_per_cycle = 8.0;
+  config.board.faults.board_deaths = {{30000, 1}, {40000, 4}};
+  distributed::DistributedEngine engine(&g, &app, &p, config);
+  const auto queries = apps::MakeVertexQueries(g, 20, 3, 800);
+  const auto result = engine.Run(queries);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->queries, queries.size());
+  EXPECT_EQ(result->reliability.board_failures, 2u);
+  EXPECT_EQ(result->reliability.spares_activated, 1u);
+  EXPECT_EQ(result->reliability.rebuilds_aborted, 1u);
+  EXPECT_EQ(result->reliability.rebuilds_completed, 0u);
+  EXPECT_EQ(result->reliability.spare_exhaustions, 1u);
+  EXPECT_EQ(result->reliability.walkers_lost, 0u);
+  EXPECT_TRUE(reliability::CheckMembershipLog(result->membership).ok());
+}
+
+// More deaths than spares: the pool drains, the cluster degrades to the
+// survivors, and checkpointed recovery still conserves every walk.
+TEST(SelfHealingTest, SpareExhaustionDegradesGracefully) {
+  const CsrGraph g = TestGraph();
+  StaticWalkApp app;
+  const auto p =
+      distributed::MakePartition(g, 4, distributed::PartitionStrategy::kHash);
+  auto config = SelfHealConfig(/*replicate=*/true, /*spares=*/1);
+  config.board.faults.board_deaths = {{20000, 1}, {35000, 2}};
+  distributed::DistributedEngine engine(&g, &app, &p, config);
+  const auto queries = apps::MakeVertexQueries(g, 20, 3, 800);
+  const auto result = engine.Run(queries);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->queries, queries.size());
+  EXPECT_EQ(result->reliability.board_failures, 2u);
+  EXPECT_EQ(result->reliability.spares_activated, 1u);
+  EXPECT_EQ(result->reliability.spare_exhaustions, 1u);
+  EXPECT_EQ(result->reliability.walkers_lost, 0u);
+  EXPECT_EQ(result->reliability.walks_failed, 0u);
+  EXPECT_TRUE(reliability::CheckMembershipLog(result->membership).ok());
+}
+
+// Triple death across a 4-board cluster with two spares: two absorbed,
+// the third exhausts the pool — and every query still retires.
+TEST(SelfHealingTest, TripleDeathConservesWalkers) {
+  const CsrGraph g = TestGraph();
+  StaticWalkApp app;
+  const auto p =
+      distributed::MakePartition(g, 4, distributed::PartitionStrategy::kHash);
+  auto config = SelfHealConfig(/*replicate=*/false, /*spares=*/2);
+  config.board.faults.board_deaths = {{20000, 1}, {35000, 2}, {50000, 3}};
+  distributed::DistributedEngine engine(&g, &app, &p, config);
+  const auto queries = apps::MakeVertexQueries(g, 20, 3, 800);
+  baseline::WalkOutput output;
+  const auto result = engine.Run(queries, &output);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->queries, queries.size());
+  EXPECT_EQ(output.num_paths(), queries.size());
+  EXPECT_EQ(result->reliability.board_failures, 3u);
+  EXPECT_EQ(result->reliability.spares_activated, 2u);
+  EXPECT_EQ(result->reliability.spare_exhaustions, 1u);
+  EXPECT_EQ(result->reliability.walkers_lost, 0u);
+  EXPECT_TRUE(reliability::CheckMembershipLog(result->membership).ok());
+}
+
+// The rebuild duration is the modeled copy cost: a quarter of the
+// bandwidth must cost roughly four times the rebuild cycles.
+TEST(SelfHealingTest, RebuildBandwidthScalesRebuildCost) {
+  const CsrGraph g = TestGraph();
+  StaticWalkApp app;
+  const auto p =
+      distributed::MakePartition(g, 4, distributed::PartitionStrategy::kHash);
+  const auto queries = apps::MakeVertexQueries(g, 20, 3, 800);
+  auto run_at = [&](double bw) {
+    auto config = SelfHealConfig(/*replicate=*/false, /*spares=*/1);
+    config.rebuild_bytes_per_cycle = bw;
+    config.board.faults.board_deaths = {{30000, 2}};
+    distributed::DistributedEngine engine(&g, &app, &p, config);
+    const auto result = engine.Run(queries);
+    EXPECT_TRUE(result.ok());
+    EXPECT_EQ(result->reliability.rebuilds_completed, 1u);
+    return result->reliability.rebuild_cycles;
+  };
+  const uint64_t fast = run_at(256.0);
+  const uint64_t slow = run_at(64.0);
+  EXPECT_GT(slow, fast);
+}
+
+// Death schedules that would kill every partition owner are rejected up
+// front — spares do not relax the bound, because a rebuild needs a live
+// source to copy from.
+TEST(SelfHealingTest, AllOwnersDeadRejectedEvenWithSpares) {
+  const CsrGraph g = TestGraph();
+  StaticWalkApp app;
+  const auto p =
+      distributed::MakePartition(g, 2, distributed::PartitionStrategy::kHash);
+  auto config = SelfHealConfig(/*replicate=*/false, /*spares=*/2);
+  config.board.faults.board_deaths = {{20000, 0}, {40000, 1}};
+  const auto queries = apps::MakeVertexQueries(g, 8, 3, 50);
+  const auto result =
+      distributed::DistributedEngine(&g, &app, &p, config).Run(queries);
+  EXPECT_FALSE(result.ok());
 }
 
 }  // namespace

@@ -1,8 +1,9 @@
 #!/bin/sh
 # Exit-code contract of walk_tool:
 #   0  success (including --help)
-#   1  usage, configuration, or I/O error
+#   1  usage, configuration, or I/O error; also a failed chaos campaign
 #   2  service run finished but breached an --slo-max-* threshold
+#   3  run finished but produced partial data (lost or failed walks)
 # Every non-zero path must print a one-line reason on stderr.
 #
 # Usage: walk_tool_exit_test.sh <path-to-walk_tool>
@@ -52,10 +53,30 @@ expect "unwritable corpus path" 1 "$TOOL" --engine cpu $BASE \
   --out /nonexistent-dir/corpus.txt
 expect "unwritable metrics path" 1 "$TOOL" --engine cpu $BASE \
   --metrics-out /nonexistent-dir/metrics.json
-expect "fault run losing walk data" 1 "$TOOL" --engine distributed \
+# Checkpoint-free death schedules are rejected at validation time unless
+# the caller explicitly opts into walker loss...
+expect "checkpoint-free death rejected" 1 "$TOOL" --engine distributed \
   --boards 2 --partition hash --rmat_scale 8 --app deepwalk --length 16 \
   --queries 128 --seed 42 --faults --fault-fail-cycle 2000 \
   --fault-fail-board 1 --fault-checkpoint-interval 0
+# ...and with the opt-in, the run completes but reports partial data.
+expect "fault run losing walk data" 3 "$TOOL" --engine distributed \
+  --boards 2 --partition hash --rmat_scale 8 --app deepwalk --length 16 \
+  --queries 128 --seed 42 --faults --fault-fail-cycle 2000 \
+  --fault-fail-board 1 --fault-checkpoint-interval 0 \
+  --fault-allow-walker-loss
+expect "mismatched death schedule lists" 1 "$TOOL" --engine distributed \
+  --boards 4 --partition hash $BASE --faults \
+  --fault-fail-cycles 2000,4000 --fault-fail-boards 1
+expect "death schedule killing every owner" 1 "$TOOL" --engine distributed \
+  --boards 2 --partition hash $BASE --faults \
+  --fault-fail-cycles 2000,4000 --fault-fail-boards 0,1 \
+  --fault-checkpoint-interval 4096
+expect "cascade with spare survives" 0 "$TOOL" --engine distributed \
+  --boards 4 --partition hash --rmat_scale 8 --app deepwalk --length 16 \
+  --queries 128 --seed 42 --faults --fault-fail-cycles 2000,6000 \
+  --fault-fail-boards 1,2 --fault-checkpoint-interval 4096 \
+  --spare-boards 1
 expect "bad span mode" 1 "$TOOL" --engine service $BASE \
   --spans-out /tmp/walk_tool_spans_$$.json --span-mode bogus
 expect "bad metrics format" 1 "$TOOL" --engine cpu $BASE \
@@ -98,6 +119,21 @@ else
   echo "ok: prometheus metrics format honored"
 fi
 rm -f "$PROM"
+
+# Chaos campaign: a small seeded campaign must pass and write its report.
+CHAOS="/tmp/walk_tool_chaos_$$.json"
+expect "chaos campaign passes" 0 "$TOOL" --chaos-scenarios 3 \
+  --chaos-seed 5 --boards 4 --rmat_scale 8 --length 8 --queries 64 \
+  --chaos-out "$CHAOS"
+if ! grep -q '"passed": true' "$CHAOS"; then
+  echo "FAIL: chaos report missing passed:true" >&2
+  fails=$((fails + 1))
+else
+  echo "ok: chaos report records a passing campaign"
+fi
+rm -f "$CHAOS"
+expect "chaos bad board count" 1 "$TOOL" --chaos-scenarios 4 --boards 1 \
+  --rmat_scale 8
 
 expect "service slo breach" 2 "$TOOL" --engine service --rmat_scale 10 \
   --app deepwalk --length 24 --queries 256 --seed 42 --boards 2 \
